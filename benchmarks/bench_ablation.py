@@ -1,0 +1,84 @@
+"""Ablations: alternative engines for the same problems.
+
+DESIGN.md calls out the load-bearing design choices; each has a second
+implementation (or an external baseline) to compare against:
+
+* satisfiability on the join-free ordered fragment: the general
+  pinned-checker vs. the Section 3.4 trace-grammar construction
+  (`TraceGrammar`) — same verdicts, different constant factors;
+* the NP cells: the semistructured checker on the reduction vs. DPLL on
+  the source formula — how much the generic engine pays over a dedicated
+  solver on the same underlying combinatorics;
+* conformance: full candidate refinement vs. the verification-only path
+  (`verify_assignment`) when the assignment is already known.
+"""
+
+import random
+
+import pytest
+
+from repro.reductions import dpll, random_3sat, reduce_formula
+from repro.schema import find_type_assignment, verify_assignment
+from repro.typing import TraceGrammar, is_satisfiable
+from repro.workloads import (
+    chain_query,
+    chain_schema,
+    deep_tree_query,
+    document_schema,
+    random_instance,
+)
+
+DEPTHS = [4, 8, 16]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_general_checker_join_free(benchmark, depth):
+    schema = chain_schema(depth)
+    query = deep_tree_query(depth)
+    assert benchmark(is_satisfiable, query, schema)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_trace_grammar_join_free(benchmark, depth):
+    """Ablation: the explicit §3.4 grammar on the same inputs."""
+    schema = chain_schema(depth)
+    query = deep_tree_query(depth)
+
+    def run():
+        return TraceGrammar(query, schema).satisfiable()
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("n_vars", [2, 3, 4])
+def test_reduction_via_checker(benchmark, n_vars):
+    formula = random_3sat(n_vars, n_clauses=n_vars + 1, rng=random.Random(3))
+    schema, query = reduce_formula(formula)
+    result = benchmark.pedantic(
+        is_satisfiable, args=(query, schema), rounds=1, iterations=1
+    )
+    assert result == (dpll(formula) is not None)
+
+
+@pytest.mark.parametrize("n_vars", [2, 3, 4])
+def test_reduction_via_dpll(benchmark, n_vars):
+    """Baseline: the dedicated solver on the same formulas."""
+    formula = random_3sat(n_vars, n_clauses=n_vars + 1, rng=random.Random(3))
+    benchmark(dpll, formula)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_conformance_search(benchmark, seed):
+    schema = document_schema(2)
+    graph = random_instance(schema, random.Random(seed), max_depth=7, star_bias=0.6)
+    assignment = benchmark(find_type_assignment, graph, schema)
+    assert assignment is not None
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_conformance_verify_only(benchmark, seed):
+    """Ablation: re-verifying a known assignment (no search)."""
+    schema = document_schema(2)
+    graph = random_instance(schema, random.Random(seed), max_depth=7, star_bias=0.6)
+    assignment = find_type_assignment(graph, schema)
+    assert benchmark(verify_assignment, graph, schema, assignment)

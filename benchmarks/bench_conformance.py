@@ -1,0 +1,79 @@
+"""Experiment C2 — Section 2: conformance checking.
+
+Paper claim: conformance (Definition 2.1) is NP-complete in general but
+PTIME for a large class including tagged schemas — DTD⁻/DTD⁺ validation
+is polynomial in document and schema size.
+
+Reproduction: document-size and schema-size sweeps for DTD⁻ validation
+(polynomial series), homogeneous unordered collections (PTIME), and a
+contrast series on untagged unordered types where candidate sets stay
+wide.
+"""
+
+import random
+
+import pytest
+
+from repro.schema import conforms, find_type_assignment, parse_schema
+from repro.workloads import document_schema, random_instance
+
+DOC_SIZES = [10, 40, 160]
+
+
+def document_of_size(target_nodes: int):
+    schema = document_schema(2)
+    rng = random.Random(42)
+    best = None
+    for _ in range(200):
+        graph = random_instance(schema, rng, max_depth=10, star_bias=0.7)
+        if best is None or abs(len(graph) - target_nodes) < abs(len(best) - target_nodes):
+            best = graph
+        if abs(len(best) - target_nodes) <= target_nodes // 4:
+            break
+    return schema, best
+
+
+@pytest.mark.parametrize("size", DOC_SIZES)
+def test_dtd_validation_document_sweep(benchmark, size):
+    """Tagged ordered validation scales polynomially in document size."""
+    schema, graph = document_of_size(size)
+    assignment = benchmark(find_type_assignment, graph, schema)
+    assert assignment is not None
+
+
+@pytest.mark.parametrize("sections", [2, 4, 8])
+def test_dtd_validation_schema_sweep(benchmark, sections):
+    """...and in schema size."""
+    schema = document_schema(sections)
+    graph = random_instance(schema, random.Random(3), max_depth=8)
+    assert benchmark(conforms, graph, schema)
+
+
+@pytest.mark.parametrize("fanout", [4, 16, 64])
+def test_homogeneous_unordered(benchmark, fanout):
+    """The homogeneous-collection fast path: linear in fan-out."""
+    schema = parse_schema("T = {(a -> U)*}; U = int")
+    from repro.data import GraphBuilder
+
+    builder = GraphBuilder()
+    builder.unordered("o0", [("a", f"o{i}") for i in range(1, fanout + 1)])
+    for i in range(1, fanout + 1):
+        builder.atomic(f"o{i}", i)
+    graph = builder.build()
+    assert benchmark(conforms, graph, schema)
+
+
+@pytest.mark.parametrize("fanout", [2, 4, 6, 8])
+def test_untagged_unordered_contrast(benchmark, fanout):
+    """Untagged unordered conformance: the bag DP works over sub-multisets
+    (the NP-flavoured case the paper contrasts against)."""
+    pieces = " . ".join(f"(a -> I | a -> S)" for _ in range(fanout))
+    schema = parse_schema(f"T = {{{pieces}}}; I = int; S = string")
+    from repro.data import GraphBuilder
+
+    builder = GraphBuilder()
+    builder.unordered("o0", [("a", f"o{i}") for i in range(1, fanout + 1)])
+    for i in range(1, fanout + 1):
+        builder.atomic(f"o{i}", i if i % 2 == 0 else f"s{i}")
+    graph = builder.build()
+    assert benchmark(conforms, graph, schema)

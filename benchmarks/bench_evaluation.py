@@ -1,0 +1,60 @@
+"""Query evaluation throughput (Definition 2.3 on real documents).
+
+Not a paper table — the substrate the Section 4.2 comparison stands on.
+Sweeps document size and query shape for the declarative evaluator.
+"""
+
+import random
+
+import pytest
+
+from repro.query import evaluate, parse_query
+from repro.workloads import document_schema, random_instance
+
+
+def document(seed: int, bias: float):
+    schema = document_schema(2)
+    return random_instance(schema, random.Random(seed), max_depth=8, star_bias=bias)
+
+
+SINGLE_PATH = parse_query("SELECT T WHERE Root = [paper.title -> T]")
+WILDCARD = parse_query("SELECT X WHERE Root = [paper.(_*).lastname -> X]")
+TWO_ARMS = parse_query(
+    "SELECT T, N WHERE Root = [paper.title -> T, paper.author.name -> N]"
+)
+NESTED = parse_query(
+    "SELECT F, L WHERE Root = [paper.author.name -> N];"
+    "N = [firstname -> F, lastname -> L]"
+)
+
+
+@pytest.mark.parametrize("bias", [0.3, 0.6, 0.8])
+def test_single_path(benchmark, bias):
+    graph = document(1, bias)
+    results = benchmark(evaluate, SINGLE_PATH, graph)
+    assert isinstance(results, list)
+
+
+@pytest.mark.parametrize("bias", [0.3, 0.6, 0.8])
+def test_wildcard_path(benchmark, bias):
+    graph = document(2, bias)
+    benchmark(evaluate, WILDCARD, graph)
+
+
+@pytest.mark.parametrize("bias", [0.3, 0.6])
+def test_two_ordered_arms(benchmark, bias):
+    graph = document(3, bias)
+    benchmark(evaluate, TWO_ARMS, graph)
+
+
+def test_nested_definitions(benchmark):
+    graph = document(4, 0.6)
+    benchmark(evaluate, NESTED, graph)
+
+
+def test_limit_short_circuits(benchmark):
+    graph = document(5, 0.8)
+    full = evaluate(WILDCARD, graph)
+    limited = benchmark(evaluate, WILDCARD, graph, 1)
+    if full:
+        assert len(limited) == 1

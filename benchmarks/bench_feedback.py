@@ -1,0 +1,62 @@
+"""Experiment F4.1 — Proposition 4.1: feedback queries in PTIME.
+
+Paper claim: the minimal equivalent query (per-arm trace projections) is
+computable in polynomial time from the query and schema.
+
+Reproduction: the paper's "Gray" feedback example as the fixed workload,
+plus sweeps over schema depth and arm count; the series should grow
+polynomially.
+"""
+
+import pytest
+
+from repro.apps import feedback_query
+from repro.query import parse_query
+from repro.schema import parse_schema
+from repro.workloads import chain_query, chain_schema, document_schema, star_fanout_query
+
+DOCUMENT_SCHEMA = parse_schema(
+    """
+    DOCUMENT = [(paper -> PAPER)*];
+    PAPER = [title -> TITLE . (author -> AUTHOR)*];
+    AUTHOR = [name -> NAME . email -> EMAIL];
+    NAME = [firstname -> FIRSTNAME . lastname -> LASTNAME];
+    TITLE = string; FIRSTNAME = string; LASTNAME = string; EMAIL = string
+    """
+)
+
+GRAY_QUERY = parse_query(
+    """
+    SELECT X3
+    WHERE Root = [paper.author -> X1];
+          X1 = [(_*).name.(_*) -> X2, (_*).email -> X3];
+          X2 = "Gray"
+    """
+)
+
+
+def test_gray_example(benchmark):
+    """The paper's Section 4.1 worked example."""
+    tightened = benchmark(feedback_query, GRAY_QUERY, DOCUMENT_SCHEMA)
+    arm1 = tightened.definition("X1").arms[0].path
+    assert arm1.symbols() <= {"name", "firstname", "lastname"}
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_feedback_depth_sweep(benchmark, depth):
+    """Schema/query size sweep with a wildcard query."""
+    schema = chain_schema(depth)
+    query = chain_query(depth, wildcard=True)
+    tightened = benchmark(feedback_query, query, schema)
+    arm = tightened.definition("Root").arms[0].path
+    # The wildcard prefix collapses to the unique chain labels.
+    assert arm.symbols() == {f"a{level}" for level in range(1, depth + 1)}
+
+
+@pytest.mark.parametrize("arms", [1, 2, 4])
+def test_feedback_arm_sweep(benchmark, arms):
+    """Arm-count sweep over the document schema."""
+    schema = document_schema(2)
+    query = star_fanout_query(arms)
+    tightened = benchmark(feedback_query, query, schema)
+    assert len(tightened.definition("Root").arms) == arms

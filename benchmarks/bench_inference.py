@@ -1,0 +1,95 @@
+"""Experiment I3.3 — Section 3.3: type inference is output-polynomial in
+the PTIME cells.
+
+Paper claim: wherever satisfiability is PTIME, type inference runs in
+time polynomial in the input *and the output*; the answer itself can be
+as large as O(|Q|^|S|), so the right scaling knob is the output size.
+
+Reproduction: two sweeps over tagged ordered schemas — a *rigid* family
+where the answer stays one assignment regardless of schema size (time
+should track schema size polynomially), and a *loose* family where a
+widening union makes the answer grow linearly (time should track the
+output count, not explode past it).
+"""
+
+import pytest
+
+from repro.automata import ANY, Sym, concat, star
+from repro.query import PatternArm, PatternDef, PatternKind, Query
+from repro.schema import Schema, TypeDef, TypeKind
+from repro.typing import infer_types
+from repro.workloads import chain_query, chain_schema
+
+RIGID_SIZES = [2, 4, 8, 16]
+LOOSE_SIZES = [2, 4, 8, 16]
+
+
+def loose_schema(width: int) -> Schema:
+    """Root with one label fanning out to ``width`` distinct leaf types."""
+    options = [Sym(("item", f"LEAF{i}")) for i in range(width)]
+    types = [TypeDef("ROOT", TypeKind.ORDERED, regex=star(_alt(options)))]
+    for i in range(width):
+        types.append(
+            TypeDef(f"LEAF{i}", TypeKind.ORDERED, regex=Sym((f"tag{i}", "S")))
+        )
+    types.append(TypeDef("S", TypeKind.ATOMIC, atomic="string"))
+    return Schema(types)
+
+
+def _alt(options):
+    from repro.automata import alt
+
+    return alt(*options)
+
+
+@pytest.mark.parametrize("depth", RIGID_SIZES)
+def test_rigid_single_answer(benchmark, depth):
+    """Output size 1: time tracks schema/query size only."""
+    schema = chain_schema(depth)
+    query = chain_query(depth)
+    results = benchmark(infer_types, query, schema)
+    assert len(results) == 1
+
+
+@pytest.mark.parametrize("width", LOOSE_SIZES)
+def test_loose_linear_output(benchmark, width):
+    """Output size = ``width``: time tracks the output count."""
+    schema = loose_schema(width)
+    query = Query(
+        ["X"],
+        [PatternDef("Root", PatternKind.ORDERED, arms=[PatternArm(Sym("item"), "X")])],
+    )
+    results = benchmark(infer_types, query, schema)
+    assert len(results) == width
+
+
+@pytest.mark.parametrize("n_vars", [1, 2, 3])
+def test_multi_variable_output_product(benchmark, n_vars):
+    """Several selected variables: output grows, enumeration prunes
+    unsatisfiable prefixes so cost stays proportional to the output."""
+    schema = loose_schema(3)
+    arms = [PatternArm(Sym("item"), f"X{i}") for i in range(n_vars)]
+    query = Query(
+        [f"X{i}" for i in range(n_vars)],
+        [PatternDef("Root", PatternKind.ORDERED, arms=arms)],
+    )
+    results = benchmark(infer_types, query, schema)
+    assert len(results) == 3 ** n_vars
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_wildcard_inference(benchmark, depth):
+    """Regular path expressions: the trace projection does the narrowing."""
+    schema = chain_schema(depth)
+    query = Query(
+        ["X"],
+        [
+            PatternDef(
+                "Root",
+                PatternKind.ORDERED,
+                arms=[PatternArm(concat(star(ANY), Sym(f"a{depth}")), "X")],
+            )
+        ],
+    )
+    results = benchmark(infer_types, query, schema)
+    assert results == [{"X": f"T{depth}"}]

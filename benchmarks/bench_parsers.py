@@ -1,0 +1,76 @@
+"""Experiment T1 — Table 1: the three grammars (data, types, patterns).
+
+Round-trip throughput for the parsers/printers pinning the Table-1
+surface syntax, sized by input length.  Not a paper claim per se, but the
+substrate every other experiment stands on.
+"""
+
+import random
+
+import pytest
+
+from repro.data import data_to_string, parse_data
+from repro.query import parse_query, query_to_string
+from repro.schema import parse_schema, schema_to_string
+from repro.workloads import document_schema, random_instance
+
+
+def make_data_text(size_seed: int) -> str:
+    graph = random_instance(
+        document_schema(2), random.Random(size_seed), max_depth=8, star_bias=0.7
+    )
+    return data_to_string(graph)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_data_round_trip(benchmark, seed):
+    text = make_data_text(seed)
+
+    def round_trip():
+        return parse_data(data_to_string(parse_data(text)))
+
+    graph = benchmark(round_trip)
+    assert graph == parse_data(text)
+
+
+@pytest.mark.parametrize("sections", [2, 8])
+def test_schema_round_trip(benchmark, sections):
+    schema = document_schema(sections)
+    text = schema_to_string(schema)
+
+    def round_trip():
+        return parse_schema(schema_to_string(parse_schema(text)))
+
+    assert benchmark(round_trip) == schema
+
+
+def test_query_round_trip(benchmark):
+    text = (
+        "SELECT X1 WHERE Root = [paper -> X1];"
+        "X1 = [author.name.(_*) -> X2, author.name.(_*) -> X3];"
+        'X2 = "Vianu"; X3 = "Abiteboul"'
+    )
+
+    def round_trip():
+        return parse_query(query_to_string(parse_query(text)))
+
+    assert benchmark(round_trip) == parse_query(text)
+
+
+def test_xml_round_trip(benchmark):
+    from repro.data import from_xml, to_xml
+
+    xml = (
+        "<doc>" + "".join(
+            f"<paper><title>t{i}</title><author><name>"
+            f"<firstname>f{i}</firstname><lastname>l{i}</lastname>"
+            f"</name><email>e{i}</email></author></paper>"
+            for i in range(20)
+        ) + "</doc>"
+    )
+
+    def round_trip():
+        return to_xml(from_xml(xml))
+
+    first = round_trip()
+    assert benchmark(round_trip) == first

@@ -1,0 +1,53 @@
+"""Schema complexity — the paper's deferred "third kind" (footnote 1).
+
+Section 3 studies query and combined complexity; schema complexity (the
+query fixed, only the schema grows) is deferred to the paper's full
+version as less practically relevant.  We measure it anyway: for a fixed
+small query, satisfiability over growing schemas stays polynomial in all
+our PTIME rows — the schema enters only through automata products and the
+schema graph.
+"""
+
+import pytest
+
+from repro.query import parse_query
+from repro.typing import is_satisfiable
+from repro.workloads import chain_schema, document_schema, union_chain_schema
+
+FIXED_QUERY = parse_query("SELECT X WHERE Root = [(_*).a1 -> X]")
+SIZES = [4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("depth", SIZES)
+def test_fixed_query_growing_chain(benchmark, depth):
+    """Tagged ordered schemas: the query is constant, the schema grows."""
+    schema = chain_schema(depth)
+    assert benchmark(is_satisfiable, FIXED_QUERY, schema)
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8, 16])
+def test_fixed_query_growing_union_schema(benchmark, depth):
+    """Untagged ordered schemas: candidate sets grow with the schema, but
+    the join-free query never enumerates them."""
+    schema = union_chain_schema(depth)
+    query = parse_query("SELECT X WHERE Root = [(_*).a1 -> X]")
+    assert benchmark(is_satisfiable, query, schema)
+
+
+@pytest.mark.parametrize("sections", [2, 4, 8, 16])
+def test_fixed_query_growing_document(benchmark, sections):
+    schema = document_schema(sections)
+    query = parse_query("SELECT X WHERE Root = [paper.title -> X]")
+    assert benchmark(is_satisfiable, query, schema)
+
+
+@pytest.mark.parametrize("sections", [2, 4, 8])
+def test_inference_schema_sweep(benchmark, sections):
+    """Inference with a fixed query over growing schemas: the candidate
+    domain grows with the schema, the output stays size 1."""
+    from repro.typing import infer_types
+
+    schema = document_schema(sections)
+    query = parse_query("SELECT X WHERE Root = [paper.title -> X]")
+    results = benchmark(infer_types, query, schema)
+    assert results == [{"X": "TITLE"}]

@@ -1,0 +1,88 @@
+"""Experiments T2.a/T2.e — the NP-complete cells of Table 2.
+
+Paper claim (Theorem 3.1 + Table 2): satisfiability is NP-complete in
+general; the hardness needs only untagged unions + unordered data, and
+survives all the query restrictions when order is dropped (rightmost
+column).
+
+Reproduction: run the checker on the executable 3SAT reduction
+(:mod:`repro.reductions.threesat`) for growing formula sizes and observe
+super-polynomial growth; cross-check every verdict against the DPLL
+substrate.  Unsatisfiable formulas are the worst case (the whole space is
+explored), so the sweep uses a forced-unsatisfiable family alongside
+random ones.
+"""
+
+import random
+
+import pytest
+
+from conftest import run_once
+from repro.reductions import Cnf, dpll, random_3sat, reduce_formula
+from repro.typing import classify, is_satisfiable
+
+
+def unsat_formula(n_vars: int) -> Cnf:
+    """An unsatisfiable family: x1, x1->x2, ..., x_{n-1}->x_n, !x_n."""
+    clauses = [(1,)]
+    clauses += [(-v, v + 1) for v in range(1, n_vars)]
+    clauses += [(-n_vars,)]
+    return Cnf(n_vars, clauses)
+
+
+@pytest.mark.parametrize("n_vars", [2, 3, 4, 5])
+def test_reduction_random(benchmark, n_vars):
+    """Arbitrary queries x unordered untagged schemas (the general case)."""
+    formula = random_3sat(n_vars, n_clauses=max(2, n_vars + 1), rng=random.Random(7))
+    schema, query = reduce_formula(formula)
+    cell = classify(query, schema)
+    assert not cell.polynomial
+    verdict = run_once(benchmark, is_satisfiable, query, schema)
+    assert verdict == (dpll(formula) is not None)
+
+
+@pytest.mark.parametrize("n_vars", [2, 3, 4])
+def test_reduction_unsatisfiable(benchmark, n_vars):
+    """Worst case: the checker must exhaust the assignment space."""
+    formula = unsat_formula(n_vars)
+    schema, query = reduce_formula(formula)
+    verdict = run_once(benchmark, is_satisfiable, query, schema)
+    assert verdict is False
+    assert dpll(formula) is None
+
+
+@pytest.mark.parametrize("n_vars", [2, 3, 4])
+def test_reduction_satisfiable_with_witness(benchmark, n_vars):
+    """Satisfiable side: verdicts come with reconstructible certificates."""
+    from repro.query import satisfies
+    from repro.reductions import assignment_to_instance
+
+    formula = Cnf(
+        n_vars, [(v,) for v in range(1, n_vars + 1)]
+    )  # trivially satisfiable: all-true
+    schema, query = reduce_formula(formula)
+    verdict = run_once(benchmark, is_satisfiable, query, schema)
+    assert verdict
+    model = dpll(formula)
+    witness = assignment_to_instance(formula, model)
+    assert satisfies(query, witness)
+
+
+@pytest.mark.parametrize("width", [2, 3, 4, 5])
+def test_unordered_join_free_constant_labels(benchmark, width):
+    """T2.e: the rightmost column — join-free constant-label queries stay
+    hard without order (cost grows with the overlap width)."""
+    from repro.automata import Sym, concat
+    from repro.query import PatternArm, PatternDef, PatternKind, Query
+    from repro.workloads import unordered_schema
+
+    schema = unordered_schema(width)
+    arms = [
+        PatternArm(concat(Sym(f"a{i}"), Sym(f"hit{i}")), f"X{i}")
+        for i in range(1, width + 1)
+    ]
+    query = Query([], [PatternDef("Root", PatternKind.UNORDERED, arms=arms)])
+    cell = classify(query, schema)
+    assert cell.query_constant_labels and cell.query_join_free
+    assert not cell.polynomial
+    assert run_once(benchmark, is_satisfiable, query, schema)

@@ -1,0 +1,96 @@
+"""Experiment T2.b/c/d — the PTIME cells of Table 2.
+
+Paper claim: satisfiability is polynomial for
+
+* join-free queries over ordered schemas (column 2, row "ordered"),
+* bounded-joins queries over ordered schemas (column 3),
+* constant-suffix queries with joins over ordered+tagged schemas
+  (columns 4-5, row "ordered+tagged") — the DTD⁺ case relevant to XML-QL,
+* join-free queries over DTD⁻ schemas — the XSL case.
+
+Each benchmark sweeps the input size; polynomial scaling shows as a
+slowly-growing per-size time series (compare with
+``bench_table2_np_cells.py``, where the same checker blows up).
+"""
+
+import pytest
+
+from repro.typing import SatisfiabilityChecker, classify, is_satisfiable
+from repro.workloads import (
+    bounded_join_query,
+    chain_query,
+    chain_schema,
+    constant_suffix_query,
+    deep_tree_query,
+    document_schema,
+    join_schema,
+    star_fanout_query,
+)
+
+SIZES = [2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("depth", SIZES)
+def test_join_free_constant_labels_ordered(benchmark, depth):
+    """Row "ordered" x column "join-free + constant labels"."""
+    schema = chain_schema(depth)
+    query = chain_query(depth)
+    cell = classify(query, schema)
+    assert cell.polynomial
+    assert benchmark(is_satisfiable, query, schema)
+
+
+@pytest.mark.parametrize("depth", SIZES)
+def test_join_free_regex_ordered(benchmark, depth):
+    """Row "ordered" x column "join-free" with regular path expressions."""
+    schema = chain_schema(depth)
+    query = chain_query(depth, wildcard=True)
+    assert classify(query, schema).polynomial
+    assert benchmark(is_satisfiable, query, schema)
+
+
+@pytest.mark.parametrize("arms", [1, 2, 4, 8])
+def test_join_free_fanout_dtd_minus(benchmark, arms):
+    """The XSL case: join-free queries over a DTD⁻ schema."""
+    schema = document_schema(2)
+    query = star_fanout_query(arms)
+    assert classify(query, schema).polynomial
+    assert benchmark(is_satisfiable, query, schema)
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4, 5])
+def test_bounded_joins_ordered(benchmark, depth):
+    """Row "ordered" x column "bounded joins" (B=1)."""
+    schema = join_schema(depth, n_joins=1)
+    query = bounded_join_query(depth, n_joins=1)
+    cell = classify(query, schema)
+    assert cell.query_column == "bounded-joins"
+    checker = SatisfiabilityChecker(query, schema)
+    assert benchmark(checker.satisfiable, {})
+    # The enumeration is linear in the candidate set, not exponential
+    # (measured on a fresh checker: the benchmark loop reuses the other).
+    fresh = SatisfiabilityChecker(query, schema)
+    assert fresh.satisfiable({})
+    assert fresh.enumerated <= 2 * len(schema.tids())
+
+
+@pytest.mark.parametrize("depth", SIZES)
+def test_constant_suffix_tagged_with_joins(benchmark, depth):
+    """Row "ordered+tagged" x column "constant suffix", with a node join.
+
+    Tagging + the constant suffix collapse the join variable's candidate
+    set to one type, so satisfiability stays polynomial even with joins —
+    the XML-QL-relevant cell.
+    """
+    schema = chain_schema(depth)
+    query = constant_suffix_query(f"a{depth}", n_arms=1)
+    assert classify(query, schema).polynomial
+    assert benchmark(is_satisfiable, query, schema)
+
+
+@pytest.mark.parametrize("depth", SIZES)
+def test_nested_pattern_tree(benchmark, depth):
+    """Nested join-free definitions (the acyclic extended CFG path)."""
+    schema = chain_schema(depth)
+    query = deep_tree_query(depth)
+    assert benchmark(is_satisfiable, query, schema)

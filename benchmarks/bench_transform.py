@@ -1,0 +1,112 @@
+"""Experiment X4.3 — Section 4.3: transformations.
+
+Paper claims: output-schema inference for single-variable Skolem
+functions is computable (exponential time in general; PSPACE-hard to beat
+substantially), and restricting schemas/queries gives polynomial cases.
+
+Reproduction: execution-cost sweep over input size, inference-cost sweep
+over input-schema size (the exponential knob is the number of inferred
+argument types per Skolem function), and the end-to-end type check.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    ConstructRule,
+    SkolemTerm,
+    TransformQuery,
+    ValueOf,
+    check_transformation,
+    infer_output_schema,
+)
+from repro.automata import Sym, alt, star
+from repro.query import parse_query
+from repro.schema import Schema, TypeDef, TypeKind, parse_schema
+from repro.workloads import random_instance
+
+BIB_SCHEMA = parse_schema(
+    "DOC = [(paper -> PAPER)*];"
+    "PAPER = [title -> TITLE . (author -> AUTHOR)*];"
+    "AUTHOR = [name -> NAME]; NAME = string; TITLE = string"
+)
+
+
+def author_index() -> TransformQuery:
+    where = parse_query(
+        "SELECT WHERE Root = [paper -> P];"
+        "P = [title -> T, author.name -> N]; N = $n"
+    )
+    return TransformQuery(
+        where,
+        [
+            ConstructRule(SkolemTerm("result"), "entry", SkolemTerm("byname", ("$n",))),
+            ConstructRule(SkolemTerm("byname", ("$n",)), "who", ValueOf("$n")),
+            ConstructRule(SkolemTerm("byname", ("$n",)), "wrote", SkolemTerm("paper", ("P",))),
+            ConstructRule(SkolemTerm("paper", ("P",)), "title", ValueOf("T")),
+        ],
+    )
+
+
+def union_schema(width: int) -> Schema:
+    """Input schema where the Skolem argument has ``width`` possible types."""
+    options = [Sym(("item", f"KIND{i}")) for i in range(width)]
+    types = [TypeDef("ROOT", TypeKind.ORDERED, regex=star(alt(*options)))]
+    for i in range(width):
+        types.append(TypeDef(f"KIND{i}", TypeKind.ORDERED, regex=Sym((f"tag{i}", "S"))))
+    types.append(TypeDef("S", TypeKind.ATOMIC, atomic="string"))
+    return Schema(types)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_apply_random_documents(benchmark, seed):
+    """Execution cost on random conforming bibliographies."""
+    transform = author_index()
+    graph = random_instance(BIB_SCHEMA, random.Random(seed), max_depth=8, star_bias=0.7)
+    output = benchmark(transform.apply, graph)
+    assert output.root_node is not None
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 8])
+def test_inference_scales_with_argument_types(benchmark, width):
+    """Output-schema inference: one output type per (function, arg type);
+    the sweep grows the candidate-type pool."""
+    schema = union_schema(width)
+    where = parse_query("SELECT WHERE Root = [item -> X]")
+    transform = TransformQuery(
+        where,
+        [
+            ConstructRule(SkolemTerm("result"), "out", SkolemTerm("f", ("X",))),
+            ConstructRule(SkolemTerm("f", ("X",)), "tagged", SkolemTerm("g", ("X",))),
+        ],
+    )
+    inferred = benchmark(infer_output_schema, transform, schema)
+    f_types = [tid for tid in inferred.tids() if tid.startswith("&F_")]
+    assert len(f_types) == width
+
+
+def test_end_to_end_type_check(benchmark):
+    """Transformation type checking against a published target schema."""
+    target = parse_schema(
+        "&INDEX = {(entry -> &ENTRY)*};"
+        "&ENTRY = {(who -> &STR | wrote -> &PAPER)*};"
+        "&PAPER = {(title -> &STR)*};"
+        "&STR = string"
+    )
+    assert benchmark(check_transformation, author_index(), BIB_SCHEMA, target)
+
+
+def test_inference_soundness_spotcheck(benchmark):
+    """Inferred schema admits every output (sound description)."""
+    from repro.schema import conforms
+
+    transform = author_index()
+    inferred = infer_output_schema(transform, BIB_SCHEMA)
+
+    def run():
+        graph = random_instance(BIB_SCHEMA, random.Random(5), max_depth=8)
+        output = transform.apply(graph)
+        return conforms(output, inferred)
+
+    assert benchmark(run)

@@ -1,0 +1,75 @@
+"""Experiment P3.2 — Proposition 3.2: total type checking is PTIME for
+ordered schemas (plus homogeneous collections) and *arbitrary* queries.
+
+Reproduction: total type checking (every variable pinned) on queries with
+joins over untagged ordered schemas scales polynomially, because pinning
+removes the candidate enumeration entirely.  The companion series runs
+*partial* checking (satisfiability) on the same inputs, which must
+enumerate candidates per join variable — the gap between the two series
+is the content of the proposition.
+"""
+
+import pytest
+
+from repro.typing import SatisfiabilityChecker, check_total_types
+from repro.workloads import bounded_join_query, join_schema
+
+SIZES = [2, 4, 6, 8]
+
+
+def total_assignment(n_joins: int) -> dict:
+    assignment = {"Root": "ROOT"}
+    for join in range(n_joins):
+        assignment[f"&J{join}"] = "&L0"
+    return assignment
+
+
+@pytest.mark.parametrize("depth", SIZES)
+def test_total_checking_scales_with_depth(benchmark, depth):
+    """Total checking on an untagged ordered schema: polynomial in size."""
+    schema = join_schema(depth, n_joins=1)
+    query = bounded_join_query(depth, n_joins=1)
+    assert benchmark(check_total_types, query, schema, total_assignment(1))
+
+
+@pytest.mark.parametrize("n_joins", [1, 2, 3, 4])
+def test_total_checking_scales_with_joins(benchmark, n_joins):
+    """Total checking stays cheap as the number of joins grows: the
+    assignment pins every join variable, so nothing is enumerated."""
+    schema = join_schema(3, n_joins=n_joins)
+    query = bounded_join_query(3, n_joins=n_joins)
+    assert benchmark(check_total_types, query, schema, total_assignment(n_joins))
+
+
+@pytest.mark.parametrize("n_joins", [1, 2, 3])
+def test_partial_checking_enumerates(benchmark, n_joins):
+    """Contrast: satisfiability (no pins) enumerates candidate types per
+    join variable."""
+    schema = join_schema(3, n_joins=n_joins, width=4)
+    query = bounded_join_query(3, n_joins=n_joins)
+    checker = SatisfiabilityChecker(query, schema)
+    assert benchmark(checker.satisfiable, {})
+    assert checker.enumerated >= 1
+
+
+def test_negative_total_checking(benchmark):
+    """A wrong assignment is rejected (and rejection is also fast):
+    pinning the join variable to the root type cannot type the leaves."""
+    schema = join_schema(3, n_joins=1)
+    query = bounded_join_query(3, n_joins=1)
+    assignment = {"Root": "ROOT", "&J0": "ROOT"}
+    assert benchmark(check_total_types, query, schema, assignment) is False
+
+
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_total_checking_homogeneous_unordered(benchmark, width):
+    """The proposition's relaxation: homogeneous unordered collections."""
+    from repro.query import parse_query
+    from repro.schema import parse_schema
+
+    schema = parse_schema("T = {(a -> U)*}; U = int")
+    arms = ", ".join(f"a -> X{i}" for i in range(width))
+    query = parse_query(f"SELECT WHERE Root = {{{arms}}}")
+    assignment = {"Root": "T"}
+    assignment.update({f"X{i}": "U" for i in range(width)})
+    assert benchmark(check_total_types, query, schema, assignment)

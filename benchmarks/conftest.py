@@ -1,0 +1,15 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment row of DESIGN.md §5 (which
+maps paper artifacts — Table 2 cells, Propositions 3.2/4.1, Theorem 4.2,
+Section 4.3 — to code).  Absolute timings depend on the host; what must
+reproduce is the *shape*: which cells scale polynomially, which blow up,
+and who wins by what factor in the Section 4.2 cost model.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark expensive calls a single round (for the NP cells)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,138 @@
+"""Regenerate Table 2 with measured scaling verdicts.
+
+For every (schema row, query column) cell of the paper's Table 2 this
+script runs the satisfiability checker on a growing workload family for
+that cell, fits the growth of the measured times, and prints the verdict
+(poly / exp) next to the paper's prediction.
+
+Run with::
+
+    python benchmarks/report_table2.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.automata import ANY, Sym, alt, concat, star, word
+from repro.query import PatternArm, PatternDef, PatternKind, Query
+from repro.reductions import Cnf, random_3sat, reduce_formula
+from repro.schema import Schema, TypeDef, TypeKind
+from repro.typing import is_satisfiable, table2_prediction
+from repro.workloads import (
+    bounded_join_query,
+    chain_query,
+    chain_schema,
+    join_schema,
+    unordered_schema,
+)
+
+#: (row, column) -> (sizes, workload factory size -> (schema, query))
+Workload = Callable[[int], Tuple[Schema, Query]]
+
+
+def unsat_formula(n_vars: int) -> Cnf:
+    clauses = [(1,)] + [(-v, v + 1) for v in range(1, n_vars)] + [(-n_vars,)]
+    return Cnf(n_vars, clauses)
+
+
+def w_general(n: int):
+    return reduce_formula(unsat_formula(n))
+
+
+def w_ordered_arbitrary(n: int):
+    # Ordered variant of the reduction: order does not tame joins/overlap
+    # when unions stay untagged — model with many label-joined arms.
+    formula = random_3sat(n, n_clauses=n + 2, rng=random.Random(5))
+    schema, query = reduce_formula(formula)
+    return schema, query
+
+
+def w_ordered_join_free(n: int):
+    return chain_schema(n), chain_query(n, wildcard=True)
+
+
+def w_ordered_bounded_joins(n: int):
+    return join_schema(n, n_joins=1), bounded_join_query(n, n_joins=1)
+
+
+def w_tagged_constant_suffix(n: int):
+    schema = chain_schema(n)
+    arm = concat(star(ANY), Sym(f"a{n}"))
+    query = Query(
+        ["X"],
+        [PatternDef("Root", PatternKind.ORDERED, arms=[PatternArm(arm, "X")])],
+    )
+    return schema, query
+
+
+def w_unordered_join_free_constant(n: int):
+    schema = unordered_schema(n)
+    arms = [
+        PatternArm(concat(Sym(f"a{i}"), Sym(f"hit{i}")), f"X{i}")
+        for i in range(1, n + 1)
+    ]
+    query = Query([], [PatternDef("Root", PatternKind.UNORDERED, arms=arms)])
+    return schema, query
+
+
+CELLS = [
+    # (row, column, sizes, workload)
+    ("arbitrary", "arbitrary", [2, 3, 4], w_general),
+    ("arbitrary", "join-free+constant-labels", [2, 3, 4, 5], w_unordered_join_free_constant),
+    ("ordered", "join-free", [4, 8, 16, 32], w_ordered_join_free),
+    ("ordered", "bounded-joins", [4, 8, 16, 32], w_ordered_bounded_joins),
+    ("ordered+tagged", "constant-suffix", [4, 8, 16, 32], w_tagged_constant_suffix),
+    ("ordered+tagged", "join-free", [4, 8, 16, 32], w_ordered_join_free),
+]
+
+
+def measure(workload: Workload, sizes: List[int]) -> List[float]:
+    times = []
+    for size in sizes:
+        schema, query = workload(size)
+        start = time.perf_counter()
+        is_satisfiable(query, schema)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def growth_verdict(sizes: List[int], times: List[float]) -> str:
+    """Classify growth by the per-unit-size time multiplier.
+
+    An exponential family multiplies its running time by a constant for
+    every +1 of the size parameter (here ≥ 1.6x); a polynomial family's
+    per-unit multiplier tends to 1 as sizes grow.
+    """
+    span = sizes[-1] - sizes[0]
+    ratio = max(times[-1], 1e-7) / max(times[0], 1e-7)
+    per_unit = ratio ** (1.0 / span)
+    return "exponential-ish" if per_unit >= 1.6 else "polynomial-ish"
+
+
+def main() -> None:
+    print("Reproduction of Table 2 (satisfiability) — measured scaling\n")
+    header = f"{'schema row':18} {'query column':28} {'paper':14} {'measured':16} times(ms)"
+    print(header)
+    print("-" * len(header))
+    for row, column, sizes, workload in CELLS:
+        prediction = table2_prediction(row, column)
+        times = measure(workload, sizes)
+        verdict = growth_verdict(sizes, times)
+        agree = (
+            (prediction == "PTIME") == (verdict == "polynomial-ish")
+        )
+        rendered = " ".join(f"{1000 * t:8.2f}" for t in times)
+        flag = "" if agree else "  <-- MISMATCH"
+        print(f"{row:18} {column:28} {prediction:14} {verdict:16} {rendered}{flag}")
+    print(
+        "\n(NP cells use the 3SAT reduction / forced-overlap families; "
+        "sizes are formula variables or schema depth/width.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Theorem 3.1, executed: the 3SAT reduction behind the NP cells.
+
+Takes a 3CNF formula, builds the (schema, query) pair of the paper's
+hardness proof, and shows:
+
+* the satisfiability checker's verdict equals DPLL's on the formula;
+* a satisfying assignment becomes a conforming witness instance on which
+  the query matches (and vice versa);
+* running time on the reduction family grows exponentially with the
+  formula size — the empirical face of NP-completeness.
+
+Run with::
+
+    python examples/np_reduction.py
+"""
+
+import random
+import time
+
+from repro.data import data_to_string
+from repro.query import query_to_string, satisfies
+from repro.reductions import (
+    Cnf,
+    assignment_to_instance,
+    dpll,
+    random_3sat,
+    reduce_formula,
+)
+from repro.schema import conforms, schema_to_string
+from repro.typing import is_satisfiable
+
+
+def show_reduction() -> None:
+    formula = Cnf(2, [(1, 2), (-1, 2), (1, -2)])
+    print("formula: (x1 | x2) & (!x1 | x2) & (x1 | !x2)")
+    schema, query = reduce_formula(formula)
+    print("\nreduced schema:")
+    print(schema_to_string(schema))
+    print("\nreduced query:")
+    print(query_to_string(query, indent=False))
+
+    checker_verdict = is_satisfiable(query, schema)
+    model = dpll(formula)
+    print(f"\nchecker: {'SAT' if checker_verdict else 'UNSAT'};"
+          f" dpll: {'SAT' if model else 'UNSAT'}")
+    assert checker_verdict == (model is not None)
+
+    witness = assignment_to_instance(formula, model)
+    print(f"\nwitness instance for the assignment {model}:")
+    print(data_to_string(witness))
+    print("\nwitness conforms?", conforms(witness, schema))
+    print("query matches on witness?", satisfies(query, witness))
+
+
+def show_scaling() -> None:
+    print("\nscaling on forced-unsatisfiable formulas (worst case):")
+    print(f"{'vars':>5} {'clauses':>8} {'time':>10}")
+    for n in range(2, 6):
+        clauses = [(1,)] + [(-v, v + 1) for v in range(1, n)] + [(-n,)]
+        formula = Cnf(n, clauses)
+        schema, query = reduce_formula(formula)
+        start = time.perf_counter()
+        verdict = is_satisfiable(query, schema)
+        elapsed = time.perf_counter() - start
+        assert not verdict
+        print(f"{n:>5} {len(clauses):>8} {1000 * elapsed:>8.1f}ms")
+
+
+def main() -> None:
+    show_reduction()
+    show_scaling()
+
+
+if __name__ == "__main__":
+    main()

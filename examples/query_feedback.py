@@ -1,0 +1,64 @@
+"""Query formulation feedback (Section 4.1) — the paper's "Gray" example.
+
+The user writes a sloppy query full of wildcards::
+
+    SELECT X3
+    WHERE Root = [paper.author -> X1];
+          X1 = [(_*).name.(_*) -> X2, (_*).email -> X3];
+          X2 = "Gray"
+
+The feedback engine tightens every path expression to exactly the words
+that can match on data conforming to the schema, telling the user that
+(a) the leading and trailing wildcards around ``email`` are redundant and
+(b) the wildcard after ``name`` can only be ``firstname`` or ``lastname``.
+
+Run with::
+
+    python examples/query_feedback.py
+"""
+
+from repro import parse_query, parse_schema, query_to_string
+from repro.apps import UnsatisfiableQueryError, feedback_query
+
+SCHEMA = parse_schema(
+    """
+    DOCUMENT = [(paper -> PAPER)*];
+    PAPER = [title -> TITLE . (author -> AUTHOR)*];
+    AUTHOR = [name -> NAME . email -> EMAIL];
+    NAME = [firstname -> FIRSTNAME . lastname -> LASTNAME];
+    TITLE = string; FIRSTNAME = string; LASTNAME = string; EMAIL = string
+    """
+)
+
+SLOPPY = parse_query(
+    """
+    SELECT X3
+    WHERE Root = [paper.author -> X1];
+          X1 = [(_*).name.(_*) -> X2, (_*).email -> X3];
+          X2 = "Gray"
+    """
+)
+
+INCONSISTENT = parse_query(
+    "SELECT X WHERE Root = [paper.title.author -> X]"
+)
+
+
+def main() -> None:
+    print("user query:")
+    print(" ", query_to_string(SLOPPY, indent=False))
+
+    tightened = feedback_query(SLOPPY, SCHEMA)
+    print("\nfeedback query (equivalent on all conforming databases):")
+    print(" ", query_to_string(tightened, indent=False))
+
+    print("\nand a query that is inconsistent with the schema:")
+    print(" ", query_to_string(INCONSISTENT, indent=False))
+    try:
+        feedback_query(INCONSISTENT, SCHEMA)
+    except UnsatisfiableQueryError as error:
+        print("  feedback:", error)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: schemas, queries, and type inference in five minutes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    check_types,
+    classify,
+    conforms,
+    evaluate,
+    infer_types,
+    is_satisfiable,
+    parse_data,
+    parse_query,
+    parse_schema,
+)
+
+# ---------------------------------------------------------------------------
+# 1. A schema (ScmDL syntax, Table 1 of the paper)
+# ---------------------------------------------------------------------------
+SCHEMA = parse_schema(
+    """
+    LIBRARY = [(book -> BOOK)*];
+    BOOK    = [title -> TITLE . (tag -> TAG)* . price -> PRICE];
+    TITLE   = string;
+    TAG     = string;
+    PRICE   = float
+    """
+)
+
+# ---------------------------------------------------------------------------
+# 2. A data graph conforming to it
+# ---------------------------------------------------------------------------
+DATA = parse_data(
+    """
+    o1 = [book -> o2, book -> o6];
+    o2 = [title -> o3, tag -> o4, price -> o5];
+    o3 = "Semistructured Data"; o4 = "db"; o5 = 49.5;
+    o6 = [title -> o7, price -> o8];
+    o7 = "Type Inference"; o8 = 15.0
+    """
+)
+
+# ---------------------------------------------------------------------------
+# 3. A query with a regular path expression
+# ---------------------------------------------------------------------------
+QUERY = parse_query("SELECT X WHERE Root = [book.(_*).price -> X]")
+
+
+def main() -> None:
+    print("schema is DTD-?", SCHEMA.is_dtd_minus())
+    print("data conforms? ", conforms(DATA, SCHEMA))
+
+    print("\nquery results on the data:")
+    for binding in evaluate(QUERY, DATA):
+        print("  X =", binding["X"], "->", DATA.node(binding["X"]).value)
+
+    print("\ntype correctness (satisfiability):", is_satisfiable(QUERY, SCHEMA))
+    print("inferred types for X:", infer_types(QUERY, SCHEMA))
+    print("partial type check X=PRICE:", check_types(QUERY, SCHEMA, {"X": "PRICE"}))
+    print("partial type check X=TITLE:", check_types(QUERY, SCHEMA, {"X": "TITLE"}))
+
+    cell = classify(QUERY, SCHEMA)
+    print(
+        f"\nTable-2 cell: schema row {cell.schema_row!r}, "
+        f"query column {cell.query_column!r} -> {cell.combined_complexity}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Data transformation with Skolem functions (Section 4.3).
+
+A bibliography is inverted into an author index: papers are grouped under
+their authors' *names* (object fusion — two authors with the same name
+become one output node).  The example then
+
+* infers the output schema for the transformation,
+* type-checks the transformation against a published target schema, and
+* shows the check reject a schema the outputs do not conform to.
+
+Run with::
+
+    python examples/transform_pipeline.py
+"""
+
+from repro import data_to_string, parse_data, parse_query, parse_schema
+from repro.apps import (
+    ConstructRule,
+    SkolemTerm,
+    TransformQuery,
+    ValueOf,
+    check_transformation,
+    infer_output_schema,
+)
+from repro.schema import conforms, schema_to_string
+
+INPUT_SCHEMA = parse_schema(
+    """
+    DOC = [(paper -> PAPER)*];
+    PAPER = [title -> TITLE . (author -> AUTHOR)*];
+    AUTHOR = [name -> NAME]; NAME = string; TITLE = string
+    """
+)
+
+INPUT_DATA = parse_data(
+    """
+    o1 = [paper -> o2, paper -> o5];
+    o2 = [title -> o3, author -> o4];
+    o3 = "Foundations"; o4 = [name -> o41]; o41 = "Ann";
+    o5 = [title -> o6, author -> o7, author -> o8];
+    o6 = "Applications"; o7 = [name -> o71]; o71 = "Ann";
+    o8 = [name -> o81]; o81 = "Bob"
+    """
+)
+
+WHERE = parse_query(
+    """
+    SELECT WHERE Root = [paper -> P];
+                 P = [title -> T, author.name -> N];
+                 N = $n
+    """
+)
+
+TRANSFORM = TransformQuery(
+    WHERE,
+    [
+        ConstructRule(SkolemTerm("result"), "entry", SkolemTerm("byname", ("$n",))),
+        ConstructRule(SkolemTerm("byname", ("$n",)), "who", ValueOf("$n")),
+        ConstructRule(SkolemTerm("byname", ("$n",)), "wrote", SkolemTerm("paper", ("P",))),
+        ConstructRule(SkolemTerm("paper", ("P",)), "title", ValueOf("T")),
+    ],
+)
+
+TARGET_SCHEMA = parse_schema(
+    """
+    &INDEX = {(entry -> &ENTRY)*};
+    &ENTRY = {(who -> &STR | wrote -> &PAPER)*};
+    &PAPER = {(title -> &STR)*};
+    &STR = string
+    """
+)
+
+WRONG_SCHEMA = parse_schema("&OUT = {(item -> &S)*}; &S = string")
+
+
+def main() -> None:
+    output = TRANSFORM.apply(INPUT_DATA)
+    print("transformed output:")
+    print(data_to_string(output))
+
+    inferred = infer_output_schema(TRANSFORM, INPUT_SCHEMA)
+    print("\ninferred output schema:")
+    print(schema_to_string(inferred))
+    print("\noutput conforms to inferred schema?", conforms(output, inferred))
+
+    print(
+        "\ntype check against the published target schema:",
+        check_transformation(TRANSFORM, INPUT_SCHEMA, TARGET_SCHEMA),
+    )
+    print(
+        "type check against a wrong schema:",
+        check_transformation(TRANSFORM, INPUT_SCHEMA, WRONG_SCHEMA),
+    )
+
+
+if __name__ == "__main__":
+    main()

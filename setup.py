@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml.  This file exists so that ``pip install
+-e .`` keeps working on offline/minimal environments whose setuptools
+lacks the ``wheel`` package required by the PEP 660 editable-wheel path:
+pip falls back to the classic ``setup.py develop`` route.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""repro: reproduction of Milo & Suciu, *Type Inference for Queries on
+Semistructured Data* (PODS 1999).
+
+The library implements the paper's full stack:
+
+* :mod:`repro.automata` — regular languages over arbitrary symbols
+  (Thompson/NFA/DFA, products, containment, bag languages);
+* :mod:`repro.data` — ordered-OEM data graphs and the Table-1 data syntax,
+  plus the XML encoding of Section 2;
+* :mod:`repro.schema` — ScmDL schemas, DTD⁻/DTD⁺ classes, conformance
+  (Definition 2.1) and schema subsumption;
+* :mod:`repro.query` — patterns and selection queries (Definitions 2.2–2.3)
+  with full evaluation semantics;
+* :mod:`repro.typing` — the paper's core: traces (Section 3.4),
+  satisfiability, total/partial type checking, and type inference, with
+  complexity matching Table 2 cell by cell;
+* :mod:`repro.apps` — the Section-4 applications: feedback queries,
+  the adaptive optimal evaluator A_O, and Skolem-function transformations;
+* :mod:`repro.reductions` — the executable 3SAT reductions behind the
+  NP-completeness results;
+* :mod:`repro.workloads` — synthetic workload generators used by the
+  benchmark harness.
+
+Quickstart::
+
+    from repro import parse_schema, parse_query, infer_types
+
+    schema = parse_schema('DOC = [(paper -> PAPER)*]; PAPER = [title -> T]; T = string')
+    query = parse_query('SELECT X WHERE Root = [paper.title -> X]')
+    for assignment in infer_types(query, schema):
+        print(assignment)
+
+Top-level names are loaded lazily so that the subpackages stay importable
+in isolation.
+"""
+
+from importlib import import_module
+
+__version__ = "1.0.0"
+
+#: Maps public top-level names to the submodule that defines them.
+_EXPORTS = {
+    "DataGraph": "repro.data",
+    "parse_data": "repro.data",
+    "data_to_string": "repro.data",
+    "from_xml": "repro.data",
+    "to_xml": "repro.data",
+    "Schema": "repro.schema",
+    "parse_schema": "repro.schema",
+    "schema_to_string": "repro.schema",
+    "parse_dtd": "repro.schema",
+    "conforms": "repro.schema",
+    "find_type_assignment": "repro.schema",
+    "Query": "repro.query",
+    "parse_query": "repro.query",
+    "query_to_string": "repro.query",
+    "evaluate": "repro.query",
+    "is_satisfiable": "repro.typing",
+    "check_types": "repro.typing",
+    "check_total_types": "repro.typing",
+    "infer_types": "repro.typing",
+    "classify": "repro.typing",
+    "feedback_query": "repro.apps",
+    "NaiveEvaluator": "repro.apps",
+    "AdaptiveEvaluator": "repro.apps",
+    "TransformQuery": "repro.apps",
+    "parse_transform": "repro.apps",
+    "parse_xmlql": "repro.query",
+    "find_witness": "repro.typing",
+    "subsumes": "repro.schema",
+    "from_json": "repro.data",
+    "to_json": "repro.data",
+    "from_plain_json": "repro.data",
+    "graph_to_dot": "repro.data",
+    "schema_to_dot": "repro.data",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    module = import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return __all__

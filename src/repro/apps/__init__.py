@@ -1,0 +1,49 @@
+"""The Section-4 applications of type inference.
+
+* :func:`feedback_query` — query-formulation feedback (Section 4.1);
+* :class:`NaiveEvaluator` / :class:`AdaptiveEvaluator` — the edge-traversal
+  evaluation model and the adaptive optimal algorithm A_O (Section 4.2);
+* :class:`TransformQuery` and friends — Skolem-function transformations
+  with output-schema inference and type checking (Section 4.3).
+"""
+
+from .feedback import UnsatisfiableQueryError, feedback_query
+from .optimize import (
+    AdaptiveEvaluator,
+    EdgeHandle,
+    EvalResult,
+    FlatPattern,
+    Match,
+    NaiveEvaluator,
+    TraversalGraph,
+)
+from .transform import (
+    ConstructRule,
+    SkolemTerm,
+    TransformQuery,
+    ValueOf,
+    check_transformation,
+    infer_output_schema,
+    parse_transform,
+    transform_to_string,
+)
+
+__all__ = [
+    "AdaptiveEvaluator",
+    "ConstructRule",
+    "EdgeHandle",
+    "EvalResult",
+    "FlatPattern",
+    "Match",
+    "NaiveEvaluator",
+    "SkolemTerm",
+    "TransformQuery",
+    "TraversalGraph",
+    "UnsatisfiableQueryError",
+    "ValueOf",
+    "check_transformation",
+    "feedback_query",
+    "infer_output_schema",
+    "parse_transform",
+    "transform_to_string",
+]

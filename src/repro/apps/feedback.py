@@ -1,0 +1,107 @@
+"""Feedback queries for query formulation (Section 4.1, Proposition 4.1).
+
+Given a query ``Q`` and a schema ``S``, the *feedback query* ``Q'``
+replaces each regular path expression ``Ri`` by a tightened ``Ri'`` such
+that (a) ``Q`` and ``Q'`` are equivalent on all databases conforming to
+``S``, (b) ``lang(Ri') ⊆ lang(Ri)``, and (c) ``Q'`` is minimal among such
+queries.  The construction is the per-segment projection of the trace
+intersection ``Tr(P) ∩ Tr(S)`` (Proposition 4.1's proof sketch).
+
+The paper presents the construction for single ordered join-free pattern
+definitions and notes the extension to multiple definitions is
+straightforward: for join-free tree patterns, a definition's arm languages
+factor through (i) the set of types its variable can take in a satisfying
+binding and (ii) the sets of types its arm targets can take — both of
+which the type-inference machinery supplies.  That is how
+:func:`feedback_query` handles nested definitions: one trace product per
+ordered definition, per viable context type, with marker alphabets
+restricted to the globally inferred type sets.
+
+Unordered definitions and label-variable arms are passed through
+unchanged (the paper's treatment covers ordered patterns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..automata.ops import union
+from ..automata.syntax import EMPTY, Regex
+from ..query.model import PatternArm, PatternDef, PatternKind, Query
+from ..schema.model import Schema
+from ..typing.inference import inferred_types_of
+from ..typing.reach import SchemaReach
+from ..typing.satisfiability import SatisfiabilityChecker
+from ..typing.traces import segment_projection, trace_product
+from ..automata.ops import to_regex
+
+
+class UnsatisfiableQueryError(ValueError):
+    """Raised when the query is inconsistent with the schema.
+
+    Per Section 4.1, this is itself useful feedback: the query (or a part
+    of it) can never produce results on data conforming to the schema.
+    """
+
+
+def feedback_query(query: Query, schema: Schema) -> Query:
+    """Compute the feedback query (Proposition 4.1).
+
+    Raises:
+        UnsatisfiableQueryError: if the query is unsatisfiable w.r.t. the
+            schema (every tightened language would be empty).
+        ValueError: if the query has joins (the paper's construction is
+            for join-free queries).
+    """
+    if not query.is_join_free():
+        raise ValueError("feedback queries are defined for join-free queries")
+    checker = SatisfiabilityChecker(query, schema)
+    if not checker.satisfiable({}):
+        raise UnsatisfiableQueryError(
+            "the query is unsatisfiable with respect to the schema"
+        )
+    reach = SchemaReach(schema)
+    type_cache: Dict[str, List[str]] = {}
+
+    def types_of(var: str) -> List[str]:
+        if var not in type_cache:
+            type_cache[var] = inferred_types_of(query, schema, var)
+        return type_cache[var]
+
+    new_patterns: List[PatternDef] = []
+    for pattern in query.patterns:
+        if pattern.kind is not PatternKind.ORDERED or not pattern.arms:
+            new_patterns.append(pattern)
+            continue
+        if any(arm.is_label_var for arm in pattern.arms) or pattern.partial_order is not None:
+            new_patterns.append(pattern)
+            continue
+        tightened = _tighten_definition(pattern, query, schema, reach, types_of)
+        new_patterns.append(tightened)
+    return Query(query.select, new_patterns, validate=False)
+
+
+def _tighten_definition(
+    pattern: PatternDef,
+    query: Query,
+    schema: Schema,
+    reach: SchemaReach,
+    types_of,
+) -> PatternDef:
+    arms = [arm.path for arm in pattern.arms]
+    allowed = [types_of(arm.target) for arm in pattern.arms]
+    context_types = [
+        tid for tid in types_of(pattern.var) if schema.type(tid).is_ordered
+    ]
+    if not context_types or any(not targets for targets in allowed):
+        # The definition can never match; leave it for the error message of
+        # the caller (the query as a whole was satisfiable, so this branch
+        # indicates an unordered context handled elsewhere).
+        return pattern
+    product = trace_product(schema, context_types, arms, allowed, reach)
+    new_arms = []
+    for index, arm in enumerate(pattern.arms, start=1):
+        projected = segment_projection(product, index)
+        regex = to_regex(projected)
+        new_arms.append(PatternArm(regex, pattern.arms[index - 1].target))
+    return PatternDef(pattern.var, pattern.kind, arms=new_arms)

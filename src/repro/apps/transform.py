@@ -1,0 +1,504 @@
+"""Transformations by Skolem functions (Section 4.3).
+
+A transformation query pairs a WHERE pattern with *construct rules*.  Each
+rule emits one output edge per binding::
+
+    f(X) -label-> g(Y)      # collection edge between Skolem nodes
+    f(X) -label-> value(V)  # leaf edge carrying V's atomic value
+
+Skolem terms ``f(X)`` denote output nodes keyed by the function name and
+the bound argument, so bindings sharing ``X`` *fuse* into one node — the
+object-fusion abstraction of the mediator languages the paper cites.  A
+designated nullary term (``result()`` by default) is the output root.
+
+Implemented here:
+
+* :meth:`TransformQuery.apply` — execute the transformation;
+* :func:`infer_output_schema` — Section 4.3's type inference for
+  transformations with single-variable Skolem functions: the possible
+  types of each function's argument (from the Section 3 inference engine)
+  index the output types, and joint inference over rule endpoints fills in
+  the edge alternatives.  The result is a *sound* description (every
+  output conforms to it); the paper shows a best description need not
+  exist in general, and our tests exhibit that phenomenon;
+* :func:`check_transformation` — transformation type checking: does every
+  output conform to a required schema?  Decided as subsumption between the
+  inferred schema and the required one (sound).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Sequence, Set, Tuple, Union
+
+from ..automata.syntax import EPSILON, Regex, Sym, alt, concat, star
+from ..data.model import DataGraph, Edge, Node, NodeKind
+from ..query.eval import iterate_bindings
+from ..query.model import PatternKind, Query
+from ..schema.model import Schema, TypeDef, TypeKind
+from ..schema.subsumption import subsumes
+from ..typing.satisfiability import SatisfiabilityChecker
+
+
+class SkolemTerm(NamedTuple):
+    """A Skolem term ``f(args...)``; args are variable names of the WHERE
+    pattern (node variables, or ``$``-prefixed value/label variables)."""
+
+    function: str
+    args: Tuple[str, ...] = ()
+
+    def render(self, binding: Dict[str, object]) -> str:
+        values = ", ".join(str(binding[arg]) for arg in self.args)
+        return f"&{self.function}({values})"
+
+
+class ValueOf(NamedTuple):
+    """A rule target copying the atomic value bound to a variable."""
+
+    var: str
+
+
+class ConstructRule(NamedTuple):
+    """One construct rule: ``head -label-> target`` per binding.
+
+    ``label`` is a constant label or a ``$``-prefixed label variable.
+    ``target`` is a :class:`SkolemTerm` or :class:`ValueOf`.
+    """
+
+    head: SkolemTerm
+    label: str
+    target: Union[SkolemTerm, ValueOf]
+
+
+class TransformQuery:
+    """A Skolem-function transformation: WHERE pattern plus construct rules."""
+
+    def __init__(
+        self,
+        where: Query,
+        rules: Sequence[ConstructRule],
+        root: SkolemTerm = SkolemTerm("result"),
+        ordered: bool = False,
+    ):
+        if root.args:
+            raise ValueError("the output root must be a nullary Skolem term")
+        known = set(where.node_vars()) | set(where.value_vars()) | set(where.label_vars())
+        for rule in rules:
+            for arg in rule.head.args + (
+                rule.target.args if isinstance(rule.target, SkolemTerm) else (rule.target.var,)
+            ):
+                if arg not in known:
+                    raise ValueError(f"rule uses unknown variable {arg!r}")
+            if rule.label.startswith("$") and rule.label not in where.label_vars():
+                raise ValueError(f"rule uses unknown label variable {rule.label!r}")
+        self.where = where
+        self.rules = tuple(rules)
+        self.root = root
+        self.ordered = ordered
+
+    def skolem_functions(self) -> Dict[str, Tuple[str, ...]]:
+        """Function name -> argument variables (must be consistent)."""
+        signatures: Dict[str, Tuple[str, ...]] = {self.root.function: ()}
+        for rule in self.rules:
+            terms = [rule.head]
+            if isinstance(rule.target, SkolemTerm):
+                terms.append(rule.target)
+            for term in terms:
+                if term.function in signatures:
+                    if signatures[term.function] != term.args:
+                        raise ValueError(
+                            f"Skolem function {term.function!r} used with "
+                            "inconsistent argument lists"
+                        )
+                else:
+                    signatures[term.function] = term.args
+        return signatures
+
+    def is_single_variable(self) -> bool:
+        """True if every Skolem function takes at most one argument."""
+        return all(len(args) <= 1 for args in self.skolem_functions().values())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def apply(self, graph: DataGraph) -> DataGraph:
+        """Run the transformation on a data graph.
+
+        Output nodes are referenceable (several rules may point at the
+        same fused node); collection nodes are unordered unless the
+        transformation was built with ``ordered=True``, in which case
+        edges keep first-creation order.
+        """
+        edges: Dict[str, List[Edge]] = {}
+        edge_seen: Dict[str, Set[Edge]] = {}
+        atomics: Dict[str, object] = {}
+        root_oid = self.root.render({})
+        edges.setdefault(root_oid, [])
+        edge_seen.setdefault(root_oid, set())
+
+        for binding in iterate_bindings(self.where, graph):
+            for rule in self.rules:
+                head_oid = rule.head.render(binding)
+                edges.setdefault(head_oid, [])
+                edge_seen.setdefault(head_oid, set())
+                label = (
+                    str(binding[rule.label])
+                    if rule.label.startswith("$")
+                    else rule.label
+                )
+                if isinstance(rule.target, SkolemTerm):
+                    target_oid = rule.target.render(binding)
+                    edges.setdefault(target_oid, [])
+                    edge_seen.setdefault(target_oid, set())
+                else:
+                    value = self._value_of(binding, rule.target.var, graph)
+                    target_oid = f"&val({value!r})"
+                    atomics[target_oid] = value
+                edge = Edge(label, target_oid)
+                if edge not in edge_seen[head_oid]:
+                    edge_seen[head_oid].add(edge)
+                    edges[head_oid].append(edge)
+
+        kind = NodeKind.ORDERED if self.ordered else NodeKind.UNORDERED
+        nodes = [Node(root_oid, kind, edges=edges[root_oid])]
+        for oid in edges:
+            if oid == root_oid:
+                continue
+            if oid in atomics:
+                continue
+            nodes.append(Node(oid, kind, edges=edges[oid]))
+        for oid, value in atomics.items():
+            nodes.append(Node(oid, NodeKind.ATOMIC, value=value))
+        reachable = set(DataGraph(nodes, validate=False).reachable_from(root_oid))
+        pruned = [node for node in nodes if node.oid in reachable]
+        return DataGraph(pruned)
+
+    @staticmethod
+    def _value_of(binding: Dict[str, object], var: str, graph: DataGraph) -> object:
+        if var.startswith("$"):
+            return binding[var]
+        oid = binding[var]
+        node = graph.node(oid)  # type: ignore[arg-type]
+        if not node.is_atomic:
+            raise ValueError(
+                f"value({var}) requires {var!r} to bind an atomic node"
+            )
+        return node.value
+
+
+def infer_output_schema(
+    transform: TransformQuery, input_schema: Schema
+) -> Schema:
+    """Infer a schema describing all possible outputs (Section 4.3).
+
+    Requires single-variable Skolem functions (the case for which the
+    paper gives an exact algorithm; with multi-variable functions the
+    result would only be an approximation).  The inferred schema is sound:
+    every ``transform.apply(G)`` with ``G`` conforming to ``input_schema``
+    conforms to it.
+
+    Raises:
+        ValueError: for multi-variable Skolem functions.
+    """
+    if not transform.is_single_variable():
+        raise ValueError(
+            "output schema inference requires single-variable Skolem functions"
+        )
+    checker = SatisfiabilityChecker(transform.where, input_schema)
+    signatures = transform.skolem_functions()
+    kind = TypeKind.ORDERED if transform.ordered else TypeKind.UNORDERED
+
+    def arg_types(function: str) -> List[Optional[str]]:
+        args = signatures[function]
+        if not args:
+            return [None]
+        return _variable_domain(checker, transform.where, input_schema, args[0])
+
+    def output_tid(function: str, arg_type: Optional[str]) -> str:
+        suffix = f"_{arg_type}" if arg_type is not None else ""
+        return f"&{function.upper()}{suffix}".replace("&&", "&")
+
+    # Value leaves share per-domain atomic types.
+    value_tids: Dict[str, str] = {}
+    types: List[TypeDef] = []
+    root_tid = output_tid(transform.root.function, None)
+    produced: Set[str] = set()
+
+    ordered_functions = [transform.root.function] + [
+        name for name in signatures if name != transform.root.function
+    ]
+    for function in ordered_functions:
+        for arg_type in arg_types(function):
+            tid = output_tid(function, arg_type)
+            if tid in produced:
+                continue
+            produced.add(tid)
+            factors: List[Regex] = []
+            for rule in transform.rules:
+                if rule.head.function != function:
+                    continue
+                factors.append(
+                    _rule_factor(
+                        rule,
+                        arg_type,
+                        signatures,
+                        checker,
+                        transform,
+                        input_schema,
+                        output_tid,
+                        value_tids,
+                    )
+                )
+            types.append(TypeDef(tid, kind, regex=concat(*factors) if factors else EPSILON))
+    for domain, tid in value_tids.items():
+        types.append(TypeDef(tid, TypeKind.ATOMIC, atomic=domain))
+    # Root first.
+    types.sort(key=lambda t: t.tid != root_tid)
+    return Schema(types)
+
+
+def _variable_domain(
+    checker: SatisfiabilityChecker, where: Query, schema: Schema, var: str
+) -> List[Optional[str]]:
+    from ..schema.model import ATOMIC_TYPE_NAMES
+
+    if var in where.value_vars():
+        domain = list(ATOMIC_TYPE_NAMES)
+    elif var in where.label_vars():
+        domain = sorted(schema.labels())
+    else:
+        domain = sorted(schema.reachable_types())
+    return [value for value in domain if checker.satisfiable({var: value})]
+
+
+def _rule_factor(
+    rule: ConstructRule,
+    head_type: Optional[str],
+    signatures: Dict[str, Tuple[str, ...]],
+    checker: SatisfiabilityChecker,
+    transform: TransformQuery,
+    input_schema: Schema,
+    output_tid,
+    value_tids: Dict[str, str],
+) -> Regex:
+    """The regex factor one rule contributes to its head's content model."""
+    head_args = signatures[rule.head.function]
+    base_pins: Dict[str, str] = {}
+    if head_args and head_type is not None:
+        base_pins[head_args[0]] = head_type
+
+    labels = [rule.label]
+    if rule.label.startswith("$"):
+        labels = [
+            label
+            for label in sorted(input_schema.labels())
+            if checker.satisfiable({**base_pins, rule.label: label})
+        ]
+
+    if isinstance(rule.target, SkolemTerm):
+        target_args = signatures[rule.target.function]
+        target_var = target_args[0] if target_args else None
+        options: List[Regex] = []
+        deterministic = target_var is not None and head_args and target_var == head_args[0]
+        for label in labels:
+            label_pins = dict(base_pins)
+            if rule.label.startswith("$"):
+                label_pins[rule.label] = label
+            if target_var is None:
+                options.append(Sym((label, output_tid(rule.target.function, None))))
+                continue
+            for target_type in _variable_domain(
+                checker, transform.where, input_schema, target_var
+            ):
+                if not checker.satisfiable({**label_pins, target_var: target_type}):
+                    continue
+                options.append(
+                    Sym((label, output_tid(rule.target.function, target_type)))
+                )
+        if not options:
+            return EPSILON
+        union = alt(*options)
+        # A target keyed by the head's own argument is emitted exactly once
+        # per head node; anything else may fuse 0..many distinct targets.
+        if deterministic and len(labels) == 1:
+            return union
+        return star(union)
+
+    # Value leaf: determine the atomic domains the bound value can have.
+    var = rule.target.var
+    head_var = head_args[0] if head_args else None
+    deterministic = False
+    if var == head_var and head_type is not None:
+        # The value is keyed by the head's own argument: one edge per node,
+        # with the domain fixed by the head's type.  For value-variable
+        # arguments the "type" is already an atomic domain name.
+        if head_var.startswith("$"):
+            domains = [head_type]
+        else:
+            head_def = input_schema.type(head_type)
+            domains = [head_def.atomic] if head_def.is_atomic else []
+        deterministic = bool(domains)
+    else:
+        domains = _value_domains(checker, transform.where, input_schema, var, base_pins)
+    options = []
+    for label in labels:
+        for domain in domains:
+            tid = value_tids.setdefault(domain, f"&VAL_{domain.upper()}")
+            options.append(Sym((label, tid)))
+    if not options:
+        return EPSILON
+    union = alt(*options)
+    if deterministic and len(labels) == 1:
+        return union
+    return star(union)
+
+
+def _value_domains(
+    checker: SatisfiabilityChecker,
+    where: Query,
+    schema: Schema,
+    var: str,
+    base_pins: Dict[str, str],
+) -> List[str]:
+    from ..schema.model import ATOMIC_TYPE_NAMES
+
+    if var.startswith("$"):
+        return [
+            domain
+            for domain in ATOMIC_TYPE_NAMES
+            if checker.satisfiable({**base_pins, var: domain})
+        ]
+    result = []
+    for tid in sorted(schema.reachable_types()):
+        type_def = schema.type(tid)
+        if not type_def.is_atomic:
+            continue
+        if checker.satisfiable({**base_pins, var: tid}):
+            if type_def.atomic not in result:
+                result.append(type_def.atomic)
+    return result
+
+
+def parse_transform(text: str) -> TransformQuery:
+    """Parse a transformation from its textual form.
+
+    Syntax: a WHERE query followed by CONSTRUCT definitions that read
+    like a data graph over Skolem terms::
+
+        SELECT WHERE Root = [paper -> P];
+                     P = [title -> T, author.name -> N]; N = $n
+        CONSTRUCT
+            result()    = { entry -> byname($n) };
+            byname($n)  = { who -> value($n), wrote -> paper(P) };
+            paper(P)    = { title -> value(T) }
+
+    The first CONSTRUCT head is the output root and must be nullary.
+    ``value(V)`` copies the atomic value bound to ``V``; labels may be
+    label variables ``$l``.
+    """
+    import re as _re
+
+    parts = _re.split(r"\bCONSTRUCT\b", text, maxsplit=1)
+    if len(parts) != 2:
+        raise SyntaxError("a transformation needs a CONSTRUCT clause")
+    from ..query.parser import parse_query
+
+    where = parse_query(parts[0])
+    from ..lexer import TokenStream
+
+    stream = TokenStream(parts[1])
+    rules: List[ConstructRule] = []
+    root: Optional[SkolemTerm] = None
+    while not stream.at_end():
+        head = _parse_term(stream)
+        if not isinstance(head, SkolemTerm):
+            raise SyntaxError("construct heads must be Skolem terms")
+        if root is None:
+            root = head
+        stream.expect("OP", "=")
+        stream.expect("OP", "{")
+        if not stream.match("OP", "}"):
+            while True:
+                if stream.match("OP", "$"):
+                    label = "$" + str(stream.expect("IDENT").value)
+                else:
+                    label = str(stream.expect("IDENT").value)
+                stream.expect("ARROW")
+                target = _parse_term(stream)
+                rules.append(ConstructRule(head, label, target))
+                if stream.match("OP", "}"):
+                    break
+                stream.expect("OP", ",")
+        if stream.match("OP", ";") is None:
+            break
+    if not stream.at_end():
+        token = stream.current
+        raise SyntaxError(
+            f"unexpected {token.kind} {token.value!r} at line {token.line}"
+        )
+    if root is None:
+        raise SyntaxError("CONSTRUCT clause is empty")
+    return TransformQuery(where, rules, root=root)
+
+
+def _parse_term(stream) -> Union[SkolemTerm, ValueOf]:
+    name = str(stream.expect("IDENT").value)
+    stream.expect("OP", "(")
+    args: List[str] = []
+    if not stream.match("OP", ")"):
+        while True:
+            if stream.match("OP", "$"):
+                args.append("$" + str(stream.expect("IDENT").value))
+            else:
+                args.append(str(stream.expect("IDENT").value))
+            if stream.match("OP", ")"):
+                break
+            stream.expect("OP", ",")
+    if name == "value":
+        if len(args) != 1:
+            raise SyntaxError("value(...) takes exactly one variable")
+        return ValueOf(args[0])
+    return SkolemTerm(name, tuple(args))
+
+
+def transform_to_string(transform: TransformQuery) -> str:
+    """Render a transformation (parse round-trips)."""
+    from ..query.parser import query_to_string
+
+    def show_term(term: Union[SkolemTerm, ValueOf]) -> str:
+        if isinstance(term, ValueOf):
+            return f"value({term.var})"
+        return f"{term.function}({', '.join(term.args)})"
+
+    grouped: Dict[SkolemTerm, List[ConstructRule]] = {}
+    order: List[SkolemTerm] = []
+    for head in [transform.root] + [r.head for r in transform.rules]:
+        if head not in grouped:
+            grouped[head] = []
+            order.append(head)
+    for rule in transform.rules:
+        grouped[rule.head].append(rule)
+    lines = [query_to_string(transform.where, indent=False), "CONSTRUCT"]
+    rendered = []
+    for head in order:
+        body = ", ".join(
+            f"{rule.label} -> {show_term(rule.target)}" for rule in grouped[head]
+        )
+        rendered.append(f"  {show_term(head)} = {{{body}}}")
+    lines.append(";\n".join(rendered))
+    return "\n".join(lines)
+
+
+def check_transformation(
+    transform: TransformQuery,
+    input_schema: Schema,
+    output_schema: Schema,
+) -> bool:
+    """Transformation type checking (Section 4.3).
+
+    Returns True when every output of ``transform`` on instances of
+    ``input_schema`` conforms to ``output_schema``, decided soundly via
+    subsumption of the inferred output schema.
+    """
+    inferred = infer_output_schema(transform, input_schema)
+    return subsumes(inferred, output_schema)

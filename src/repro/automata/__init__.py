@@ -1,0 +1,95 @@
+"""Regular-language substrate: regex AST, NFA/DFA, products, bag languages.
+
+This subpackage is self-contained (no dependency on the data/schema/query
+layers) and implements everything the traces technique of the paper needs:
+Thompson construction, subset construction, minimization, products,
+containment, projections, regex extraction, and the unordered (bag)
+language membership test of Section 2.
+"""
+
+from .syntax import (
+    ANY,
+    EMPTY,
+    EPSILON,
+    Alt,
+    Any,
+    Concat,
+    Empty,
+    Epsilon,
+    Regex,
+    Star,
+    Sym,
+    Symbol,
+    alt,
+    concat,
+    last_symbols,
+    literal_word,
+    opt,
+    plus,
+    star,
+    sym,
+    word,
+)
+from .nfa import EPS, NFA, thompson
+from .dfa import DFA, determinize
+from .ops import (
+    concat_nfa,
+    equivalent,
+    intersect,
+    is_subset,
+    relabel,
+    to_regex,
+    trim,
+    union,
+)
+from .bag import (
+    bag_accepts,
+    bag_accepts_regex,
+    homogeneous_alternatives,
+    homogeneous_symbol,
+)
+from .parser import parse_regex, parse_regex_string, regex_to_string
+
+__all__ = [
+    "ANY",
+    "EMPTY",
+    "EPSILON",
+    "EPS",
+    "Alt",
+    "Any",
+    "Concat",
+    "DFA",
+    "Empty",
+    "Epsilon",
+    "NFA",
+    "Regex",
+    "Star",
+    "Sym",
+    "Symbol",
+    "alt",
+    "bag_accepts",
+    "bag_accepts_regex",
+    "concat",
+    "concat_nfa",
+    "determinize",
+    "equivalent",
+    "homogeneous_alternatives",
+    "homogeneous_symbol",
+    "intersect",
+    "is_subset",
+    "last_symbols",
+    "literal_word",
+    "opt",
+    "parse_regex",
+    "parse_regex_string",
+    "plus",
+    "regex_to_string",
+    "relabel",
+    "star",
+    "sym",
+    "thompson",
+    "to_regex",
+    "trim",
+    "union",
+    "word",
+]

@@ -1,0 +1,175 @@
+"""Unordered regular languages: bag membership in ``ulang(R)``.
+
+Section 2 of the paper defines the *unordered language* of a regular
+expression ``R`` as the set of finite bags ``b`` such that some ordering of
+``b`` is a word of ``lang(R)``.  Deciding bag membership is NP-complete in
+general (it degenerates to a sequencing problem), which is precisely where
+the hardness of conformance and satisfiability for unordered types comes
+from (Table 2, rightmost column).
+
+This module provides:
+
+* an exact decision procedure (:func:`bag_accepts`) via dynamic programming
+  over sub-bags — exponential only in the number of *distinct* symbols of
+  the bag times their multiplicities (``prod(count_i + 1)`` sub-bags), which
+  is fine for the node fan-outs seen in practice;
+* the PTIME fast path for *homogeneous collections* ``{(a -> T)*}`` that the
+  paper singles out (:func:`homogeneous_symbol`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .nfa import EPS, NFA, thompson
+from .syntax import Regex, Star, Sym, Symbol, Alt
+
+
+def homogeneous_symbol(regex: Regex) -> Optional[Symbol]:
+    """If ``regex`` is ``(s)*`` for a single atom ``s``, return ``s``.
+
+    Homogeneous unordered collections ``{(a -> T)*}`` admit constant-time
+    bag membership: every bag drawn from the single symbol belongs to the
+    unordered language.  Returns None for any other shape.
+    """
+    if isinstance(regex, Star) and isinstance(regex.inner, Sym):
+        return regex.inner.symbol
+    return None
+
+
+def homogeneous_alternatives(regex: Regex) -> Optional[FrozenSet[Symbol]]:
+    """If ``regex`` is ``(s1 | ... | sk)*``, return the atom set.
+
+    This generalizes homogeneous collections to a union of allowed edge
+    symbols, each repeatable freely — still a PTIME bag membership test
+    (the bag's support must be a subset of the atoms).
+    """
+    if not isinstance(regex, Star):
+        return None
+    inner = regex.inner
+    if isinstance(inner, Sym):
+        return frozenset([inner.symbol])
+    if isinstance(inner, Alt) and all(isinstance(p, Sym) for p in inner.parts):
+        return frozenset(p.symbol for p in inner.parts)
+    return None
+
+
+def bag_accepts(nfa: NFA, bag: Iterable[Symbol]) -> bool:
+    """Return True if some ordering of ``bag`` is accepted by ``nfa``.
+
+    Dynamic programming: for each sub-bag (counter vector over the distinct
+    symbols of the bag) compute the set of NFA states reachable by consuming
+    some permutation of that sub-bag.  The full bag is in the unordered
+    language iff an accepting state is reachable from the full vector.
+    """
+    counts = Counter(bag)
+    symbols = sorted(counts, key=repr)
+    full = tuple(counts[s] for s in symbols)
+    start = nfa.initial_states()
+    if not any(full):
+        return bool(start & nfa.accepting)
+
+    # reach[vector] = frozenset of states after consuming that sub-bag.
+    reach: Dict[Tuple[int, ...], FrozenSet[int]] = {tuple([0] * len(symbols)): start}
+    # Process vectors in order of total size so predecessors exist.
+    frontier: List[Tuple[int, ...]] = [tuple([0] * len(symbols))]
+    for _ in range(sum(full)):
+        next_frontier: Dict[Tuple[int, ...], Set[int]] = {}
+        for vector in frontier:
+            states = reach[vector]
+            if not states:
+                continue
+            for i, symbol in enumerate(symbols):
+                if vector[i] >= full[i]:
+                    continue
+                stepped = nfa.step(states, symbol)
+                if not stepped:
+                    continue
+                nxt = vector[:i] + (vector[i] + 1,) + vector[i + 1:]
+                next_frontier.setdefault(nxt, set()).update(stepped)
+        frontier = []
+        for vector, states in next_frontier.items():
+            frozen = frozenset(states)
+            reach[vector] = frozen
+            frontier.append(vector)
+    final = reach.get(full, frozenset())
+    return bool(final & nfa.accepting)
+
+
+def bag_run_groups(
+    nfa: NFA, groups: Sequence[Tuple[FrozenSet[Symbol], int]]
+) -> Optional[List[List[Symbol]]]:
+    """Find symbol choices for an unordered node's edges, if any ordering works.
+
+    ``groups`` lists ``(choices, count)`` pairs: ``count`` interchangeable
+    positions, each of which must consume one symbol from ``choices``.  (In
+    conformance, a group collects the child edges that share both a label
+    and a candidate-type set, since such edges are interchangeable.)
+
+    Returns, per group, the list of ``count`` symbols chosen (order within a
+    group is immaterial), such that some interleaving of all chosen symbols
+    is accepted by ``nfa``; or None if no choice works.
+
+    The DP explores sub-multiset vectors, so it is exponential only in the
+    number of groups (bounded by node fan-out), mirroring the paper's
+    observation that unordered matching is the hard case.
+    """
+    counts = tuple(count for _choices, count in groups)
+    zero = tuple([0] * len(groups))
+    start = nfa.initial_states()
+    # back[(vector, state)] = (prev_vector, prev_state, group_index, symbol)
+    back: Dict[Tuple[Tuple[int, ...], int], Tuple[Tuple[int, ...], int, int, Symbol]] = {}
+    reach: Dict[Tuple[int, ...], FrozenSet[int]] = {zero: start}
+    frontier = [zero]
+    for _ in range(sum(counts)):
+        next_frontier: Dict[Tuple[int, ...], Set[int]] = {}
+        for vector in frontier:
+            states = reach[vector]
+            for i, (choices, count) in enumerate(groups):
+                if vector[i] >= count:
+                    continue
+                nxt_vector = vector[:i] + (vector[i] + 1,) + vector[i + 1:]
+                for symbol in choices:
+                    for q in states:
+                        for arc_symbol, dst in nfa.arcs_from(q):
+                            if arc_symbol is EPS or arc_symbol != symbol:
+                                continue
+                            for closed in nfa.eps_closure([dst]):
+                                key = (nxt_vector, closed)
+                                if key in back or (
+                                    nxt_vector in reach and closed in reach[nxt_vector]
+                                ):
+                                    continue
+                                back[key] = (vector, q, i, symbol)
+                                next_frontier.setdefault(nxt_vector, set()).add(closed)
+        frontier = []
+        for vector, states in next_frontier.items():
+            merged = states | set(reach.get(vector, frozenset()))
+            reach[vector] = frozenset(merged)
+            frontier.append(vector)
+    full = counts
+    final_states = [q for q in reach.get(full, frozenset()) if q in nfa.accepting]
+    if sum(counts) == 0:
+        return [[] for _ in groups] if (start & nfa.accepting) else None
+    if not final_states:
+        return None
+    chosen: List[List[Symbol]] = [[] for _ in groups]
+    vector, state = full, final_states[0]
+    while vector != zero:
+        prev_vector, prev_state, group_index, symbol = back[(vector, state)]
+        chosen[group_index].append(symbol)
+        vector, state = prev_vector, prev_state
+    return chosen
+
+
+def bag_accepts_regex(regex: Regex, alphabet: Iterable[Symbol], bag: Iterable[Symbol]) -> bool:
+    """Convenience wrapper: compile ``regex`` and test bag membership.
+
+    Applies the homogeneous fast paths before falling back to the DP.
+    """
+    bag = list(bag)
+    atoms = homogeneous_alternatives(regex)
+    if atoms is not None:
+        return all(symbol in atoms for symbol in bag)
+    return bag_accepts(thompson(regex, alphabet), bag)

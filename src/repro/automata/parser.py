@@ -1,0 +1,185 @@
+"""Parser for the regular expressions of Table 1.
+
+Two atom vocabularies share one grammar:
+
+* *path* regexes (patterns): atoms are labels and the wildcard ``_``;
+* *schema* regexes: atoms are ``label -> Tid`` pairs (the label side may be
+  ``_`` only if the caller permits it; plain ScmDL does not use wildcards in
+  schemas, so the schema parser forbids them).
+
+Grammar (precedence low to high)::
+
+    R      ::= seq ('|' seq)*
+    seq    ::= post ('.' post)*
+    post   ::= atom ('*' | '+' | '?')*
+    atom   ::= '(' R ')' | 'eps' | label | '_' | label '->' Tid
+
+``eps`` is the empty word.  ``(R)`` groups.  ``*``, ``+``, ``?`` are postfix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from ..lexer import Token, TokenStream
+from .syntax import ANY, EPSILON, Regex, alt, concat, opt, plus, star, sym
+
+#: Signature of an atom factory: receives (label, target_tid_or_None) and
+#: returns the regex atom.  ``target`` is None for plain-label atoms.
+AtomFactory = Callable[[str, Optional[str]], Regex]
+
+
+def default_atom(label: str, target: Optional[str]) -> Regex:
+    """Default atom factory: plain labels map to themselves, arrow atoms to
+    ``(label, target)`` pairs."""
+    if target is None:
+        return sym(label)
+    return sym((label, target))
+
+
+def parse_regex(
+    stream: TokenStream,
+    atom: AtomFactory = default_atom,
+    allow_arrow: bool = False,
+    allow_wildcard: bool = True,
+) -> Regex:
+    """Parse a regex from ``stream`` (leaves the stream after the regex).
+
+    Args:
+        stream: token stream positioned at the start of the expression.
+        atom: factory turning lexical atoms into regex symbols.
+        allow_arrow: accept ``label -> Tid`` atoms (schema regexes).
+        allow_wildcard: accept ``_`` (pattern regexes).
+    """
+
+    def parse_alt() -> Regex:
+        parts = [parse_seq()]
+        while stream.match("OP", "|"):
+            parts.append(parse_seq())
+        return alt(*parts)
+
+    def parse_seq() -> Regex:
+        parts = [parse_post()]
+        while stream.match("OP", "."):
+            parts.append(parse_post())
+        return concat(*parts)
+
+    def parse_post() -> Regex:
+        node = parse_atom()
+        while True:
+            if stream.match("OP", "*"):
+                node = star(node)
+            elif stream.match("OP", "+"):
+                node = plus(node)
+            elif stream.match("OP", "?"):
+                node = opt(node)
+            else:
+                return node
+
+    def parse_atom() -> Regex:
+        if stream.match("OP", "("):
+            inner = parse_alt()
+            stream.expect("OP", ")")
+            return inner
+        token = stream.current
+        if token.kind != "IDENT":
+            raise SyntaxError(
+                f"expected regex atom, found {token.kind} {token.value!r} "
+                f"at line {token.line}, column {token.column}"
+            )
+        stream.advance()
+        name = str(token.value)
+        if name == "eps":
+            return EPSILON
+        if name == "_":
+            if not allow_wildcard:
+                raise SyntaxError(
+                    f"wildcard '_' not allowed here (line {token.line})"
+                )
+            if allow_arrow and stream.match("ARROW"):
+                raise SyntaxError(
+                    f"wildcard labels in schema atoms are not supported "
+                    f"(line {token.line})"
+                )
+            return ANY
+        if allow_arrow and stream.match("ARROW"):
+            target = stream.expect("IDENT")
+            return atom(name, str(target.value))
+        if allow_arrow:
+            raise SyntaxError(
+                f"schema atom {name!r} must be of the form label->Tid "
+                f"(line {token.line}, column {token.column})"
+            )
+        return atom(name, None)
+
+    return parse_alt()
+
+
+def parse_regex_string(
+    text: str,
+    atom: AtomFactory = default_atom,
+    allow_arrow: bool = False,
+    allow_wildcard: bool = True,
+) -> Regex:
+    """Parse a complete string as a single regex."""
+    stream = TokenStream(text)
+    regex = parse_regex(stream, atom, allow_arrow, allow_wildcard)
+    if not stream.at_end():
+        token = stream.current
+        raise SyntaxError(
+            f"trailing input after regex: {token.kind} {token.value!r} "
+            f"at line {token.line}, column {token.column}"
+        )
+    return regex
+
+
+def regex_to_string(regex: Regex, show_atom: Optional[Callable[[object], str]] = None) -> str:
+    """Render a regex in the Table-1 surface syntax.
+
+    ``show_atom`` renders a symbol; the default renders strings as-is and
+    ``(label, target)`` pairs as ``label->target``.
+    """
+    if show_atom is None:
+        show_atom = _default_show_atom
+    rendered, _prec = _render(regex, show_atom)
+    return rendered
+
+
+def _default_show_atom(symbol: object) -> str:
+    if isinstance(symbol, tuple) and len(symbol) == 2:
+        return f"{symbol[0]}->{symbol[1]}"
+    return str(symbol)
+
+
+# Precedence levels: 0 = alt, 1 = concat, 2 = postfix/atom.
+def _render(regex: Regex, show_atom: Callable[[object], str]) -> Tuple[str, int]:
+    from .syntax import Alt, Any, Concat, Empty, Epsilon, Star, Sym
+
+    if isinstance(regex, Empty):
+        return "empty", 2
+    if isinstance(regex, Epsilon):
+        return "eps", 2
+    if isinstance(regex, Any):
+        return "_", 2
+    if isinstance(regex, Sym):
+        return show_atom(regex.symbol), 2
+    if isinstance(regex, Star):
+        inner, prec = _render(regex.inner, show_atom)
+        if prec < 2:
+            inner = f"({inner})"
+        return f"{inner}*", 2
+    if isinstance(regex, Concat):
+        pieces = []
+        for part in regex.parts:
+            inner, prec = _render(part, show_atom)
+            if prec < 1:
+                inner = f"({inner})"
+            pieces.append(inner)
+        return ".".join(pieces), 1
+    if isinstance(regex, Alt):
+        pieces = []
+        for part in regex.parts:
+            inner, _prec = _render(part, show_atom)
+            pieces.append(inner)
+        return "|".join(pieces), 0
+    raise TypeError(f"unknown regex node: {regex!r}")

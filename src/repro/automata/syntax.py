@@ -1,0 +1,454 @@
+"""Regular-expression abstract syntax over arbitrary hashable symbols.
+
+The paper (Table 1) uses regular expressions in three places with different
+atom vocabularies:
+
+* schema definitions: atoms are ``label -> Tid`` pairs,
+* pattern path expressions: atoms are labels or the wildcard ``_``,
+* traces (Section 3.4): atoms are labels mixed with variable markers.
+
+This module therefore keeps the symbol type fully generic: an atom is any
+hashable Python object.  The wildcard is represented structurally (:class:`Any`)
+and is only given meaning when a regex is compiled against a concrete finite
+alphabet (see :mod:`repro.automata.nfa`).  All regexes in this project are
+compiled against finite alphabets: because a schema, query, and data graph
+mention only finitely many labels, every unmentioned label behaves identically
+and is modelled by a single reserved symbol (``OTHER``, introduced by callers).
+
+Construction goes through the smart constructors :func:`concat`, :func:`alt`,
+:func:`star`, which perform light simplification (identity and absorbing
+elements) so that printed regexes stay readable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Callable,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+Symbol = Hashable
+
+
+class Regex:
+    """Base class for regular-expression AST nodes.
+
+    Instances are immutable and hashable; equality is structural.  Use the
+    module-level smart constructors rather than instantiating ``Concat``/
+    ``Alt``/``Star`` directly when building expressions programmatically.
+    """
+
+    __slots__ = ()
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        """Return the set of concrete atoms occurring in the expression."""
+        raise NotImplementedError
+
+    def has_wildcard(self) -> bool:
+        """Return True if the expression contains the ``_`` wildcard."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """Return True if the empty word belongs to the language."""
+        raise NotImplementedError
+
+    def is_empty_language(self) -> bool:
+        """Return True if the language is syntactically empty.
+
+        This is exact for expressions built with the smart constructors,
+        which float :class:`Empty` to the top.
+        """
+        return isinstance(self, Empty)
+
+    def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> "Regex":
+        """Return a copy with every atom ``s`` replaced by ``fn(s)``."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Regex", ...]:
+        """Return immediate sub-expressions (empty for leaves)."""
+        return ()
+
+    def walk(self) -> Iterator["Regex"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    # Operator sugar so tests and examples can write ``a + b | c``.
+    def __add__(self, other: "Regex") -> "Regex":
+        return concat(self, other)
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return alt(self, other)
+
+
+class Empty(Regex):
+    """The empty language (no words at all)."""
+
+    __slots__ = ()
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+    def has_wildcard(self) -> bool:
+        return False
+
+    def nullable(self) -> bool:
+        return False
+
+    def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> Regex:
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Empty)
+
+    def __hash__(self) -> int:
+        return hash("Empty")
+
+    def __repr__(self) -> str:
+        return "Empty()"
+
+
+class Epsilon(Regex):
+    """The language containing only the empty word."""
+
+    __slots__ = ()
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+    def has_wildcard(self) -> bool:
+        return False
+
+    def nullable(self) -> bool:
+        return True
+
+    def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> Regex:
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Epsilon)
+
+    def __hash__(self) -> int:
+        return hash("Epsilon")
+
+    def __repr__(self) -> str:
+        return "Epsilon()"
+
+
+class Sym(Regex):
+    """A single concrete atom."""
+
+    __slots__ = ("symbol",)
+
+    def __init__(self, symbol: Symbol):
+        object.__setattr__(self, "symbol", symbol)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Regex nodes are immutable")
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset([self.symbol])
+
+    def has_wildcard(self) -> bool:
+        return False
+
+    def nullable(self) -> bool:
+        return False
+
+    def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> Regex:
+        return Sym(fn(self.symbol))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Sym) and self.symbol == other.symbol
+
+    def __hash__(self) -> int:
+        return hash(("Sym", self.symbol))
+
+    def __repr__(self) -> str:
+        return f"Sym({self.symbol!r})"
+
+
+class Any(Regex):
+    """The wildcard ``_``: matches any single symbol of the alphabet.
+
+    The wildcard has no fixed language on its own; it is interpreted
+    relative to the alphabet supplied at automaton-compilation time.
+    """
+
+    __slots__ = ()
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+    def has_wildcard(self) -> bool:
+        return True
+
+    def nullable(self) -> bool:
+        return False
+
+    def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> Regex:
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Any)
+
+    def __hash__(self) -> int:
+        return hash("Any")
+
+    def __repr__(self) -> str:
+        return "Any()"
+
+
+class Concat(Regex):
+    """Concatenation of two or more sub-expressions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Regex]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Regex nodes are immutable")
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset(itertools.chain.from_iterable(p.symbols() for p in self.parts))
+
+    def has_wildcard(self) -> bool:
+        return any(p.has_wildcard() for p in self.parts)
+
+    def nullable(self) -> bool:
+        return all(p.nullable() for p in self.parts)
+
+    def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> Regex:
+        return concat(*(p.map_symbols(fn) for p in self.parts))
+
+    def children(self) -> Tuple[Regex, ...]:
+        return self.parts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Concat) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("Concat", self.parts))
+
+    def __repr__(self) -> str:
+        return f"Concat({list(self.parts)!r})"
+
+
+class Alt(Regex):
+    """Alternation (union) of two or more sub-expressions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Regex]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Regex nodes are immutable")
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset(itertools.chain.from_iterable(p.symbols() for p in self.parts))
+
+    def has_wildcard(self) -> bool:
+        return any(p.has_wildcard() for p in self.parts)
+
+    def nullable(self) -> bool:
+        return any(p.nullable() for p in self.parts)
+
+    def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> Regex:
+        return alt(*(p.map_symbols(fn) for p in self.parts))
+
+    def children(self) -> Tuple[Regex, ...]:
+        return self.parts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Alt) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("Alt", self.parts))
+
+    def __repr__(self) -> str:
+        return f"Alt({list(self.parts)!r})"
+
+
+class Star(Regex):
+    """Kleene closure of a sub-expression."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Regex):
+        object.__setattr__(self, "inner", inner)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Regex nodes are immutable")
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return self.inner.symbols()
+
+    def has_wildcard(self) -> bool:
+        return self.inner.has_wildcard()
+
+    def nullable(self) -> bool:
+        return True
+
+    def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> Regex:
+        return star(self.inner.map_symbols(fn))
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.inner,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Star) and self.inner == other.inner
+
+    def __hash__(self) -> int:
+        return hash(("Star", self.inner))
+
+    def __repr__(self) -> str:
+        return f"Star({self.inner!r})"
+
+
+EMPTY = Empty()
+EPSILON = Epsilon()
+ANY = Any()
+
+
+def sym(symbol: Symbol) -> Regex:
+    """Build an atom expression for ``symbol``."""
+    return Sym(symbol)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Smart concatenation: flattens, drops epsilons, absorbs Empty."""
+    flat = []
+    for part in parts:
+        if isinstance(part, Empty):
+            return EMPTY
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(flat)
+
+
+def alt(*parts: Regex) -> Regex:
+    """Smart alternation: flattens, deduplicates, drops Empty."""
+    flat = []
+    seen = set()
+    for part in parts:
+        if isinstance(part, Empty):
+            continue
+        candidates = part.parts if isinstance(part, Alt) else (part,)
+        for cand in candidates:
+            if cand not in seen:
+                seen.add(cand)
+                flat.append(cand)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Alt(flat)
+
+
+def star(inner: Regex) -> Regex:
+    """Smart Kleene star: collapses nested stars and trivial bodies."""
+    if isinstance(inner, (Empty, Epsilon)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Regex:
+    """``R+`` as ``R.R*``."""
+    return concat(inner, star(inner))
+
+
+def opt(inner: Regex) -> Regex:
+    """``R?`` as ``R | eps``."""
+    return alt(inner, EPSILON)
+
+
+def word(symbols: Iterable[Symbol]) -> Regex:
+    """Build the concatenation of the given atoms (a single-word language)."""
+    return concat(*(Sym(s) for s in symbols))
+
+
+def literal_word(regex: Regex) -> Optional[Tuple[Symbol, ...]]:
+    """If ``regex`` denotes exactly one word built from atoms, return it.
+
+    Returns None when the expression uses alternation, star, or wildcards,
+    i.e. whenever the language is not a single concrete word.  Used by the
+    query classifier to detect *constant label* path expressions (Section 3).
+    """
+    if isinstance(regex, Epsilon):
+        return ()
+    if isinstance(regex, Sym):
+        return (regex.symbol,)
+    if isinstance(regex, Concat):
+        pieces = []
+        for part in regex.parts:
+            piece = literal_word(part)
+            if piece is None:
+                return None
+            pieces.extend(piece)
+        return tuple(pieces)
+    return None
+
+
+def last_symbols(regex: Regex) -> Optional[FrozenSet[Symbol]]:
+    """Return the set of atoms that can end a word of ``regex``.
+
+    Returns None if a word can end with a wildcard-matched symbol (so the
+    last-symbol set is not determined by the expression alone) or if the
+    empty word is in the language (no last symbol).  Used to detect the
+    *constant suffix* restriction ``R.l`` of Section 3.
+    """
+    if regex.nullable():
+        return None
+    result = _last_symbols(regex)
+    return result
+
+
+def _last_symbols(regex: Regex) -> Optional[FrozenSet[Symbol]]:
+    if isinstance(regex, (Empty, Epsilon)):
+        return frozenset()
+    if isinstance(regex, Sym):
+        return frozenset([regex.symbol])
+    if isinstance(regex, Any):
+        return None
+    if isinstance(regex, Alt):
+        acc = set()
+        for part in regex.parts:
+            sub = _last_symbols(part)
+            if sub is None:
+                return None
+            acc.update(sub)
+        return frozenset(acc)
+    if isinstance(regex, Concat):
+        acc = set()
+        # Walk suffix parts from the right while they may be skipped (nullable).
+        for part in reversed(regex.parts):
+            sub = _last_symbols(part)
+            if sub is None:
+                return None
+            acc.update(sub)
+            if not part.nullable():
+                return frozenset(acc)
+        return frozenset(acc)
+    if isinstance(regex, Star):
+        return _last_symbols(regex.inner)
+    return None

@@ -1,0 +1,288 @@
+"""Command-line interface: ``repro <command> ...`` or ``python -m repro``.
+
+Commands
+--------
+
+``validate``  check a data graph against a schema (Definition 2.1)
+``satisfiable``  type correctness of a query w.r.t. a schema (Section 3.1)
+``check``  partial type checking for a SELECT-variable assignment
+``infer``  type inference for the SELECT variables (Section 3.3)
+``feedback``  compute the feedback query (Section 4.1)
+``evaluate``  run a query on a data graph (Definition 2.3)
+``classify``  report the Table-2 cell of a (schema, query) pair
+``transform``  apply / type-check a Skolem transformation (Section 4.3)
+``dot``  emit Graphviz DOT for a data graph or a schema graph
+
+Schemas may be given as ScmDL text (``--schema``) or as a DTD
+(``--dtd``); data graphs as Table-1 text (``--data``) or XML (``--xml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from .data import from_xml, parse_data
+from .query import evaluate, parse_query, query_to_string
+from .schema import find_type_assignment, parse_dtd, parse_schema
+from .typing import check_types, classify, infer_types, is_satisfiable
+
+
+def _load_schema(args: argparse.Namespace):
+    if args.dtd:
+        with open(args.dtd) as handle:
+            return parse_dtd(handle.read(), wrap=bool(getattr(args, "wrap", False)))
+    if args.schema:
+        with open(args.schema) as handle:
+            return parse_schema(handle.read())
+    raise SystemExit("provide --schema FILE or --dtd FILE")
+
+
+def _load_data(args: argparse.Namespace):
+    if getattr(args, "xml", None):
+        with open(args.xml) as handle:
+            return from_xml(handle.read())
+    if getattr(args, "data", None):
+        with open(args.data) as handle:
+            return parse_data(handle.read())
+    raise SystemExit("provide --data FILE or --xml FILE")
+
+
+def _load_query(args: argparse.Namespace):
+    with open(args.query) as handle:
+        return parse_query(handle.read())
+
+
+def _add_schema_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--schema", help="ScmDL schema file")
+    parser.add_argument("--dtd", help="DTD file")
+    parser.add_argument(
+        "--wrap",
+        action="store_true",
+        help="with --dtd: add the synthetic document root (matches XML input)",
+    )
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    schema = _load_schema(args)
+    graph = _load_data(args)
+    assignment = find_type_assignment(graph, schema)
+    if assignment is None:
+        print("INVALID: no type assignment exists")
+        return 1
+    print("VALID")
+    if args.verbose:
+        for oid, tid in assignment.items():
+            print(f"  {oid}: {tid}")
+    return 0
+
+
+def cmd_satisfiable(args: argparse.Namespace) -> int:
+    schema = _load_schema(args)
+    query = _load_query(args)
+    verdict = is_satisfiable(query, schema)
+    print("SATISFIABLE" if verdict else "UNSATISFIABLE")
+    if verdict and args.witness:
+        from .data import data_to_string
+        from .typing import WitnessError, find_witness
+
+        try:
+            witness = find_witness(query, schema)
+        except WitnessError as error:
+            print(f"(no witness constructed: {error})")
+        else:
+            if witness is not None:
+                print("witness instance:")
+                print(data_to_string(witness))
+    return 0 if verdict else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    schema = _load_schema(args)
+    query = _load_query(args)
+    assignment = dict(pair.split("=", 1) for pair in args.assign)
+    verdict = check_types(query, schema, assignment)
+    print("OK" if verdict else "FAIL")
+    return 0 if verdict else 1
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    schema = _load_schema(args)
+    query = _load_query(args)
+    results = infer_types(query, schema)
+    if args.json:
+        print(json.dumps(results, indent=2))
+    else:
+        if not results:
+            print("(no satisfiable type assignment)")
+        for assignment in results:
+            rendered = ", ".join(f"{k}={v}" for k, v in assignment.items())
+            print(rendered or "(boolean query: satisfiable)")
+    return 0 if results else 1
+
+
+def cmd_feedback(args: argparse.Namespace) -> int:
+    from .apps import UnsatisfiableQueryError, feedback_query
+
+    schema = _load_schema(args)
+    query = _load_query(args)
+    try:
+        tightened = feedback_query(query, schema)
+    except UnsatisfiableQueryError as error:
+        print(f"UNSATISFIABLE: {error}")
+        return 1
+    print(query_to_string(tightened))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    graph = _load_data(args)
+    query = _load_query(args)
+    results = evaluate(query, graph, limit=args.limit)
+    for binding in results:
+        print(", ".join(f"{k}={v}" for k, v in binding.items()) or "(match)")
+    print(f"-- {len(results)} result(s)")
+    return 0
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    from .apps import check_transformation, infer_output_schema, parse_transform
+    from .data import data_to_string
+    from .schema import schema_to_string
+
+    with open(args.transform) as handle:
+        transform = parse_transform(handle.read())
+    if args.infer or args.target:
+        schema = _load_schema(args)
+    if args.infer:
+        inferred = infer_output_schema(transform, schema)
+        print(schema_to_string(inferred))
+        return 0
+    if args.target:
+        with open(args.target) as handle:
+            target = parse_schema(handle.read())
+        verdict = check_transformation(transform, schema, target)
+        print("OK" if verdict else "FAIL")
+        return 0 if verdict else 1
+    graph = _load_data(args)
+    print(data_to_string(transform.apply(graph)))
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from .data import graph_to_dot, schema_to_dot
+
+    if args.schema or args.dtd:
+        print(schema_to_dot(_load_schema(args)))
+        return 0
+    if args.data or args.xml:
+        print(graph_to_dot(_load_data(args)))
+        return 0
+    raise SystemExit("provide --schema/--dtd or --data/--xml")
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    schema = _load_schema(args)
+    query = _load_query(args)
+    cell = classify(query, schema)
+    print(f"schema row:    {cell.schema_row}")
+    print(f"query column:  {cell.query_column}")
+    print(f"prediction:    {cell.combined_complexity}")
+    print(f"DTD-:          {cell.schema_is_dtd_minus}")
+    print(f"DTD+:          {cell.schema_is_dtd_plus}")
+    print(f"join width:    {cell.query_join_width}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Type inference for queries on semistructured data "
+        "(Milo & Suciu, PODS 1999)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser("validate", help="validate data against a schema")
+    _add_schema_options(validate)
+    validate.add_argument("--data", help="data graph file (Table-1 syntax)")
+    validate.add_argument("--xml", help="XML document file")
+    validate.add_argument("--verbose", action="store_true")
+    validate.set_defaults(handler=cmd_validate)
+
+    satisfiable = commands.add_parser(
+        "satisfiable", help="type correctness of a query"
+    )
+    _add_schema_options(satisfiable)
+    satisfiable.add_argument("query", help="query file")
+    satisfiable.add_argument(
+        "--witness",
+        action="store_true",
+        help="also print a conforming witness instance (join-free ordered queries)",
+    )
+    satisfiable.set_defaults(handler=cmd_satisfiable)
+
+    check = commands.add_parser("check", help="partial type checking")
+    _add_schema_options(check)
+    check.add_argument("query", help="query file")
+    check.add_argument(
+        "assign", nargs="+", help="assignments VAR=TYPE for SELECT variables"
+    )
+    check.set_defaults(handler=cmd_check)
+
+    infer = commands.add_parser("infer", help="type inference for SELECT variables")
+    _add_schema_options(infer)
+    infer.add_argument("query", help="query file")
+    infer.add_argument("--json", action="store_true")
+    infer.set_defaults(handler=cmd_infer)
+
+    feedback = commands.add_parser("feedback", help="compute the feedback query")
+    _add_schema_options(feedback)
+    feedback.add_argument("query", help="query file")
+    feedback.set_defaults(handler=cmd_feedback)
+
+    evaluate_cmd = commands.add_parser("evaluate", help="run a query on data")
+    evaluate_cmd.add_argument("query", help="query file")
+    evaluate_cmd.add_argument("--data", help="data graph file")
+    evaluate_cmd.add_argument("--xml", help="XML document file")
+    evaluate_cmd.add_argument("--limit", type=int, default=None)
+    evaluate_cmd.set_defaults(handler=cmd_evaluate)
+
+    transform_cmd = commands.add_parser(
+        "transform", help="apply / type-check a Skolem transformation"
+    )
+    _add_schema_options(transform_cmd)
+    transform_cmd.add_argument("transform", help="transformation file (WHERE + CONSTRUCT)")
+    transform_cmd.add_argument("--data", help="input data graph to transform")
+    transform_cmd.add_argument("--xml", help="input XML document to transform")
+    transform_cmd.add_argument(
+        "--infer", action="store_true", help="print the inferred output schema"
+    )
+    transform_cmd.add_argument(
+        "--target", help="output schema file to type-check against"
+    )
+    transform_cmd.set_defaults(handler=cmd_transform)
+
+    dot_cmd = commands.add_parser("dot", help="emit Graphviz DOT for data or a schema")
+    _add_schema_options(dot_cmd)
+    dot_cmd.add_argument("--data", help="data graph file")
+    dot_cmd.add_argument("--xml", help="XML document file")
+    dot_cmd.set_defaults(handler=cmd_dot)
+
+    classify_cmd = commands.add_parser("classify", help="report the Table-2 cell")
+    _add_schema_options(classify_cmd)
+    classify_cmd.add_argument("query", help="query file")
+    classify_cmd.set_defaults(handler=cmd_classify)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

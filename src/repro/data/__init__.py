@@ -1,0 +1,43 @@
+"""Data graphs: the ordered OEM model of Section 2.
+
+Provides the graph model (:class:`DataGraph`), the Table-1 textual syntax
+(:func:`parse_data` / :func:`data_to_string`), a fluent builder
+(:class:`GraphBuilder`), and the XML encoding of Section 2
+(:func:`from_xml` / :func:`to_xml`).
+"""
+
+from .model import (
+    AtomicValue,
+    DataGraph,
+    DataGraphError,
+    Edge,
+    GraphBuilder,
+    Node,
+    NodeKind,
+)
+from .parser import data_to_string, parse_data
+from .xml import XmlElement, XmlError, from_xml, parse_xml, to_xml
+from .dot import graph_to_dot, schema_to_dot
+from .json_bridge import from_json, from_plain_json, to_json
+
+__all__ = [
+    "AtomicValue",
+    "DataGraph",
+    "DataGraphError",
+    "Edge",
+    "GraphBuilder",
+    "Node",
+    "NodeKind",
+    "XmlElement",
+    "XmlError",
+    "data_to_string",
+    "from_json",
+    "from_plain_json",
+    "from_xml",
+    "graph_to_dot",
+    "parse_data",
+    "parse_xml",
+    "schema_to_dot",
+    "to_json",
+    "to_xml",
+]

@@ -1,0 +1,73 @@
+"""Graphviz export for data graphs and schemas.
+
+Produces DOT source for visual inspection of instances and of the schema
+graph Γ(S) — handy when debugging conformance or satisfiability verdicts
+(``dot -Tsvg out.dot``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .model import DataGraph
+
+
+def _quote(text: object) -> str:
+    escaped = str(text).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def graph_to_dot(graph: DataGraph, name: str = "data") -> str:
+    """Render a data graph as DOT.
+
+    Atomic nodes are boxes labelled with their value; ordered collections
+    are ellipses, unordered collections double ellipses.  Edge order is
+    the child order (Graphviz preserves it left to right with ``ordering=out``).
+    """
+    lines: List[str] = [f"digraph {_quote(name)} {{", "  ordering=out;"]
+    for node in graph:
+        if node.is_atomic:
+            label = f"{node.oid}\\n{node.value!r}"
+            shape = "box"
+        else:
+            label = node.oid + (" []" if node.is_ordered else " {}")
+            shape = "ellipse" if node.is_ordered else "doublecircle"
+        lines.append(f"  {_quote(node.oid)} [label={_quote(label)}, shape={shape}];")
+    for node in graph:
+        for edge in node.edges:
+            lines.append(
+                f"  {_quote(node.oid)} -> {_quote(edge.target)} "
+                f"[label={_quote(edge.label)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schema_to_dot(schema, name: str = "schema") -> str:
+    """Render the schema graph Γ(S) as DOT.
+
+    One node per type (atomic types as boxes with their domain); one edge
+    per possible ``(label, target)`` pair — i.e. edges that occur in some
+    instance (uninhabited branches are absent, mirroring
+    :meth:`~repro.schema.model.Schema.possible_edges`).
+    """
+    lines: List[str] = [f"digraph {_quote(name)} {{"]
+    edges = schema.possible_edges()
+    for type_def in schema:
+        if type_def.is_atomic:
+            label = f"{type_def.tid}\\n({type_def.atomic})"
+            shape = "box"
+        else:
+            label = type_def.tid + (" []" if type_def.is_ordered else " {}")
+            shape = "ellipse" if type_def.is_ordered else "doublecircle"
+        style = ', peripheries=2' if type_def.tid == schema.root else ""
+        lines.append(
+            f"  {_quote(type_def.tid)} [label={_quote(label)}, shape={shape}{style}];"
+        )
+    for tid, pairs in edges.items():
+        for label, target in sorted(pairs):
+            lines.append(
+                f"  {_quote(tid)} -> {_quote(target)} [label={_quote(label)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

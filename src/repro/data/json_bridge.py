@@ -1,0 +1,121 @@
+"""JSON interchange for data graphs.
+
+Two mappings are provided:
+
+* :func:`to_json` / :func:`from_json` — a lossless structural encoding of
+  the full model (kinds, oids, shared referenceable nodes, duplicate
+  labels), suitable for persistence::
+
+      {"root": "o1",
+       "nodes": {"o1": {"kind": "ordered",
+                        "edges": [["a", "o2"], ["a", "o3"]]},
+                 "o2": {"kind": "atomic", "value": 1}, ...}}
+
+* :func:`from_plain_json` — import ordinary JSON documents (objects,
+  arrays, scalars) as data graphs, the same spirit as the paper's XML
+  encoding: objects become unordered nodes (one edge per key), arrays
+  ordered nodes with ``item`` edges, scalars atomic nodes.  Booleans and
+  nulls are encoded as strings (the model's atomic domains are
+  string/int/float).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from .model import DataGraph, DataGraphError, Edge, Node, NodeKind
+
+
+def to_json(graph: DataGraph) -> str:
+    """Serialize a data graph to its canonical JSON form."""
+    nodes: Dict[str, object] = {}
+    for node in graph:
+        if node.is_atomic:
+            nodes[node.oid] = {"kind": "atomic", "value": node.value}
+        else:
+            nodes[node.oid] = {
+                "kind": "ordered" if node.is_ordered else "unordered",
+                "edges": [[edge.label, edge.target] for edge in node.edges],
+            }
+    return json.dumps({"root": graph.root, "nodes": nodes}, indent=2)
+
+
+def from_json(text: str) -> DataGraph:
+    """Parse the canonical JSON form back into a data graph.
+
+    Raises:
+        DataGraphError: on malformed structure or model violations.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise DataGraphError(f"invalid JSON: {error}") from error
+    if not isinstance(payload, dict) or "root" not in payload or "nodes" not in payload:
+        raise DataGraphError('expected {"root": ..., "nodes": {...}}')
+    root = payload["root"]
+    raw_nodes = payload["nodes"]
+    if root not in raw_nodes:
+        raise DataGraphError(f"root {root!r} is not among the nodes")
+    nodes: List[Node] = []
+    order = [root] + [oid for oid in raw_nodes if oid != root]
+    for oid in order:
+        spec = raw_nodes[oid]
+        kind = spec.get("kind")
+        if kind == "atomic":
+            nodes.append(Node(oid, NodeKind.ATOMIC, value=spec["value"]))
+        elif kind in ("ordered", "unordered"):
+            edges = [Edge(label, target) for label, target in spec.get("edges", [])]
+            node_kind = NodeKind.ORDERED if kind == "ordered" else NodeKind.UNORDERED
+            nodes.append(Node(oid, node_kind, edges=edges))
+        else:
+            raise DataGraphError(f"node {oid!r}: unknown kind {kind!r}")
+    return DataGraph(nodes)
+
+
+#: JSON scalar/array/object value type.
+Json = Union[None, bool, int, float, str, list, dict]
+
+
+def from_plain_json(text_or_value: Union[str, Json], oid_prefix: str = "j") -> DataGraph:
+    """Encode an ordinary JSON document as a data graph.
+
+    Objects become unordered nodes, arrays ordered nodes with ``item``
+    edges, scalars atomic nodes; the document is wrapped under a root
+    with a single ``json`` edge (mirroring the XML wrapper of Section 2).
+    """
+    if isinstance(text_or_value, str):
+        value = json.loads(text_or_value)
+    else:
+        value = text_or_value
+    nodes: List[Node] = []
+    counter = [1]
+
+    def fresh() -> str:
+        oid = f"{oid_prefix}{counter[0]}"
+        counter[0] += 1
+        return oid
+
+    root_oid = fresh()
+
+    def encode(value: Json) -> str:
+        oid = fresh()
+        if isinstance(value, dict):
+            edges = [Edge(str(key), encode(item)) for key, item in value.items()]
+            nodes.append(Node(oid, NodeKind.UNORDERED, edges=edges))
+        elif isinstance(value, list):
+            edges = [Edge("item", encode(item)) for item in value]
+            nodes.append(Node(oid, NodeKind.ORDERED, edges=edges))
+        elif isinstance(value, bool):
+            nodes.append(Node(oid, NodeKind.ATOMIC, value=str(value).lower()))
+        elif value is None:
+            nodes.append(Node(oid, NodeKind.ATOMIC, value="null"))
+        elif isinstance(value, (int, float, str)):
+            nodes.append(Node(oid, NodeKind.ATOMIC, value=value))
+        else:
+            raise DataGraphError(f"unsupported JSON value: {value!r}")
+        return oid
+
+    document = encode(value)
+    nodes.insert(0, Node(root_oid, NodeKind.ORDERED, edges=[Edge("json", document)]))
+    return DataGraph(nodes)

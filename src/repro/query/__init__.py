@@ -1,0 +1,36 @@
+"""Patterns and selection queries (Section 2): model, syntax, evaluation.
+
+Provides the query model and Table-2 classifiers (:class:`Query`,
+:class:`PatternDef`), the textual syntax (:func:`parse_query` /
+:func:`query_to_string`), and full evaluation semantics per Definition 2.3
+(:func:`evaluate`, :func:`satisfies`, :func:`iterate_bindings`).
+"""
+
+from .model import (
+    LabelVar,
+    PatternArm,
+    PatternDef,
+    PatternKind,
+    Query,
+    QueryError,
+)
+from .parser import parse_query, query_to_string
+from .eval import Binding, evaluate, iterate_bindings, satisfies
+from .xmlql import XmlqlError, parse_xmlql
+
+__all__ = [
+    "Binding",
+    "LabelVar",
+    "PatternArm",
+    "PatternDef",
+    "PatternKind",
+    "Query",
+    "QueryError",
+    "XmlqlError",
+    "evaluate",
+    "iterate_bindings",
+    "parse_query",
+    "parse_xmlql",
+    "query_to_string",
+    "satisfies",
+]

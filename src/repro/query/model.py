@@ -1,0 +1,450 @@
+"""Patterns and selection queries (Section 2, Table 1).
+
+A selection query is ``SELECT vars WHERE patterndefs``.  Each pattern
+definition is one of::
+
+    X = value          # constant atomic value
+    X = $v             # value variable
+    X = { P }          # unordered pattern
+    X = [ P ]          # ordered pattern
+
+where ``P`` is a list of arms ``L -> Y`` and each ``L`` is a regular path
+expression over labels (wildcard ``_`` allowed) or a label variable ``$l``.
+The first defined node variable is the *root variable*.  Node variables
+prefixed with ``&`` are referenceable and may be shared; other node
+variables may occur at most once on right-hand sides.
+
+The module also implements the query classifiers of Section 3 that index
+Table 2: projection-free, constant labels, constant suffix, join-free and
+bounded joins.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..automata.syntax import Regex, last_symbols, literal_word
+from ..data.model import AtomicValue
+
+
+class LabelVar(NamedTuple):
+    """A label variable ``$name`` used in edge position."""
+
+    name: str
+
+
+#: An arm's path: either a regular path expression or a label variable.
+Path = Union[Regex, LabelVar]
+
+
+class PatternArm(NamedTuple):
+    """One arm ``L -> Y`` of a collection pattern."""
+
+    path: Path
+    target: str
+
+    @property
+    def is_label_var(self) -> bool:
+        return isinstance(self.path, LabelVar)
+
+
+class PatternKind(enum.Enum):
+    """The four pattern-definition shapes of Table 1."""
+
+    VALUE = "value"
+    VALUE_VAR = "value_var"
+    UNORDERED = "unordered"
+    ORDERED = "ordered"
+
+
+class PatternDef:
+    """One pattern definition ``X = ...``.
+
+    Ordered definitions may carry a *partial order* over their arms (the
+    paper's Section 2 remark on XML-QL's ``i < j`` constraints):
+    ``partial_order`` lists pairs ``(i, j)`` meaning arm ``i``'s witness
+    path must take a strictly earlier first edge than arm ``j``'s;
+    unconstrained arm pairs may come in any order and may even share their
+    first edge (the unordered behaviour).  ``partial_order=None`` (the
+    default) is the paper's main case: the total order of the arm list.
+    """
+
+    __slots__ = ("var", "kind", "value", "value_var", "arms", "partial_order")
+
+    def __init__(
+        self,
+        var: str,
+        kind: PatternKind,
+        value: Optional[AtomicValue] = None,
+        value_var: Optional[str] = None,
+        arms: Sequence[PatternArm] = (),
+        partial_order: Optional[Sequence[Tuple[int, int]]] = None,
+    ):
+        if kind is PatternKind.VALUE and value is None:
+            raise ValueError(f"pattern {var!r}: constant pattern needs a value")
+        if kind is PatternKind.VALUE_VAR and value_var is None:
+            raise ValueError(f"pattern {var!r}: value-variable pattern needs a name")
+        if kind in (PatternKind.VALUE, PatternKind.VALUE_VAR) and arms:
+            raise ValueError(f"pattern {var!r}: atomic patterns cannot have arms")
+        for arm in arms:
+            if isinstance(arm.path, Regex):
+                if arm.path.nullable():
+                    raise ValueError(
+                        f"pattern {var!r}: path expression to {arm.target!r} "
+                        "accepts the empty word; paths must be non-empty"
+                    )
+                if arm.path.is_empty_language():
+                    raise ValueError(
+                        f"pattern {var!r}: path expression to {arm.target!r} "
+                        "denotes the empty language"
+                    )
+        if partial_order is not None:
+            if kind is not PatternKind.ORDERED:
+                raise ValueError(
+                    f"pattern {var!r}: partial orders apply to ordered patterns"
+                )
+            n_arms = len(arms)
+            for left, right in partial_order:
+                if not (0 <= left < n_arms and 0 <= right < n_arms) or left == right:
+                    raise ValueError(
+                        f"pattern {var!r}: bad order constraint ({left}, {right})"
+                    )
+            if _order_has_cycle(len(arms), partial_order):
+                raise ValueError(
+                    f"pattern {var!r}: the order constraints contain a cycle"
+                )
+        self.var = var
+        self.kind = kind
+        self.value = value
+        self.value_var = value_var
+        self.arms = tuple(arms)
+        self.partial_order = (
+            tuple(sorted(set(map(tuple, partial_order))))
+            if partial_order is not None
+            else None
+        )
+
+    @property
+    def is_collection(self) -> bool:
+        return self.kind in (PatternKind.ORDERED, PatternKind.UNORDERED)
+
+    @property
+    def is_ordered(self) -> bool:
+        return self.kind is PatternKind.ORDERED
+
+    def order_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The effective first-edge order constraints.
+
+        For plain ordered patterns this is the total order of the arm
+        list; for partially ordered patterns, the declared pairs.
+        """
+        if self.kind is not PatternKind.ORDERED:
+            return ()
+        if self.partial_order is not None:
+            return self.partial_order
+        return tuple((i, i + 1) for i in range(len(self.arms) - 1))
+
+    def targets(self) -> Tuple[str, ...]:
+        return tuple(arm.target for arm in self.arms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternDef):
+            return NotImplemented
+        return (
+            self.var == other.var
+            and self.kind == other.kind
+            and self.value == other.value
+            and self.value_var == other.value_var
+            and self.arms == other.arms
+            and self.partial_order == other.partial_order
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.var, self.kind, self.value, self.value_var, self.arms, self.partial_order)
+        )
+
+    def __repr__(self) -> str:
+        return f"PatternDef({self.var!r}, {self.kind.value})"
+
+
+def _order_has_cycle(n_arms: int, pairs: Sequence[Tuple[int, int]]) -> bool:
+    adjacency: Dict[int, List[int]] = {}
+    for left, right in pairs:
+        adjacency.setdefault(left, []).append(right)
+    state = [0] * n_arms  # 0 unvisited, 1 in progress, 2 done
+
+    def visit(node: int) -> bool:
+        if state[node] == 1:
+            return True
+        if state[node] == 2:
+            return False
+        state[node] = 1
+        for successor in adjacency.get(node, []):
+            if visit(successor):
+                return True
+        state[node] = 2
+        return False
+
+    return any(visit(node) for node in range(n_arms))
+
+
+class QueryError(ValueError):
+    """Raised when a query violates the well-formedness rules of Section 2."""
+
+
+class Query:
+    """A selection query ``SELECT select WHERE patterns``.
+
+    An empty ``select`` denotes a boolean query (Section 3.2).
+
+    Args:
+        select: the projected variable names (node, value, or label
+            variables; label variables keep their ``$`` prefix).
+        patterns: the pattern definitions; the first variable is the root.
+        validate: if True (default) enforce single definitions, non-empty
+            paths, connectedness, and the referenceability rules.
+    """
+
+    __slots__ = ("select", "patterns")
+
+    def __init__(
+        self,
+        select: Iterable[str],
+        patterns: Iterable[PatternDef],
+        validate: bool = True,
+    ):
+        self.select = tuple(select)
+        self.patterns = tuple(patterns)
+        if not self.patterns:
+            raise QueryError("a query needs at least one pattern definition")
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def root_var(self) -> str:
+        return self.patterns[0].var
+
+    def definition(self, var: str) -> Optional[PatternDef]:
+        """The definition of a node variable, or None if only referenced."""
+        for pattern in self.patterns:
+            if pattern.var == var:
+                return pattern
+        return None
+
+    def node_vars(self) -> Tuple[str, ...]:
+        """All node variables, defined or referenced, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for pattern in self.patterns:
+            seen.setdefault(pattern.var)
+            for arm in pattern.arms:
+                seen.setdefault(arm.target)
+        return tuple(seen)
+
+    def defined_vars(self) -> Tuple[str, ...]:
+        return tuple(pattern.var for pattern in self.patterns)
+
+    def label_vars(self) -> Tuple[str, ...]:
+        """All label variables, in first-seen order (with ``$`` prefix)."""
+        seen: Dict[str, None] = {}
+        for pattern in self.patterns:
+            for arm in pattern.arms:
+                if arm.is_label_var:
+                    seen.setdefault("$" + arm.path.name)
+        return tuple(seen)
+
+    def value_vars(self) -> Tuple[str, ...]:
+        """All value variables, in first-seen order (with ``$`` prefix)."""
+        seen: Dict[str, None] = {}
+        for pattern in self.patterns:
+            if pattern.kind is PatternKind.VALUE_VAR:
+                seen.setdefault("$" + pattern.value_var)
+        return tuple(seen)
+
+    def reference_counts(self) -> Dict[str, int]:
+        """How many times each node variable occurs on right-hand sides."""
+        counts: Dict[str, int] = {}
+        for pattern in self.patterns:
+            for arm in pattern.arms:
+                counts[arm.target] = counts.get(arm.target, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        defined: Set[str] = set()
+        for pattern in self.patterns:
+            if pattern.var in defined:
+                raise QueryError(f"variable {pattern.var!r} defined more than once")
+            defined.add(pattern.var)
+        counts = self.reference_counts()
+        for var, count in counts.items():
+            if not var.startswith("&") and count > 1:
+                raise QueryError(
+                    f"non-referenceable variable {var!r} occurs {count} times "
+                    "on right-hand sides"
+                )
+        root = self.root_var
+        if not root.startswith("&") and counts.get(root, 0) > 0:
+            raise QueryError(
+                f"non-referenceable root variable {root!r} may not occur on "
+                "right-hand sides"
+            )
+        self._check_connected()
+        self._check_variable_sorts()
+
+    def _check_connected(self) -> None:
+        adjacency: Dict[str, List[str]] = {}
+        for pattern in self.patterns:
+            adjacency.setdefault(pattern.var, []).extend(pattern.targets())
+        seen = {self.root_var}
+        stack = [self.root_var]
+        while stack:
+            var = stack.pop()
+            for target in adjacency.get(var, []):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        missing = set(self.node_vars()) - seen
+        if missing:
+            raise QueryError(
+                f"pattern is not connected: root does not reach {sorted(missing)}"
+            )
+
+    def _check_variable_sorts(self) -> None:
+        label_names = {name[1:] for name in self.label_vars()}
+        value_names = {name[1:] for name in self.value_vars()}
+        clash = label_names & value_names
+        if clash:
+            raise QueryError(
+                f"variables used both as label and value variables: {sorted(clash)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Classifiers (the Table-2 query restrictions)
+    # ------------------------------------------------------------------
+
+    def is_projection_free(self) -> bool:
+        """True if every variable (of any sort) appears in SELECT."""
+        selected = set(self.select)
+        names = set(self.node_vars()) | set(self.label_vars()) | set(self.value_vars())
+        return names <= selected
+
+    def is_boolean(self) -> bool:
+        """True for an empty SELECT clause."""
+        return not self.select
+
+    def is_constant_labels(self) -> bool:
+        """True if every path is a constant label word and no label variables
+        occur (the *constant labels* restriction)."""
+        for pattern in self.patterns:
+            for arm in pattern.arms:
+                if arm.is_label_var:
+                    return False
+                if literal_word(arm.path) is None:
+                    return False
+        return True
+
+    def is_constant_suffix(self) -> bool:
+        """True if every path expression ends with a determined constant
+        label (the *constant suffix* restriction ``R.l``)."""
+        for pattern in self.patterns:
+            for arm in pattern.arms:
+                if arm.is_label_var:
+                    return False
+                suffix = last_symbols(arm.path)
+                if suffix is None or len(suffix) != 1:
+                    return False
+        return True
+
+    def node_join_vars(self) -> Tuple[str, ...]:
+        """Node variables violating the join-free condition.
+
+        A variable joins if it is referred to multiple times, or if it
+        transitively refers to itself (a cycle through the pattern).
+        """
+        violations: Dict[str, None] = {}
+        for var, count in self.reference_counts().items():
+            if count > 1:
+                violations.setdefault(var)
+        adjacency: Dict[str, List[str]] = {}
+        for pattern in self.patterns:
+            adjacency.setdefault(pattern.var, []).extend(pattern.targets())
+        for var in self.defined_vars():
+            if self._reaches(adjacency, var, var):
+                violations.setdefault(var)
+        return tuple(violations)
+
+    @staticmethod
+    def _reaches(adjacency: Dict[str, List[str]], source: str, goal: str) -> bool:
+        stack = list(adjacency.get(source, []))
+        seen: Set[str] = set()
+        while stack:
+            var = stack.pop()
+            if var == goal:
+                return True
+            if var in seen:
+                continue
+            seen.add(var)
+            stack.extend(adjacency.get(var, []))
+        return False
+
+    def label_join_vars(self) -> Tuple[str, ...]:
+        """Label variables used more than once (label joins)."""
+        counts: Dict[str, int] = {}
+        for pattern in self.patterns:
+            for arm in pattern.arms:
+                if arm.is_label_var:
+                    counts[arm.path.name] = counts.get(arm.path.name, 0) + 1
+        return tuple("$" + name for name, count in counts.items() if count > 1)
+
+    def value_join_vars(self) -> Tuple[str, ...]:
+        """Value variables used more than once (value joins)."""
+        counts: Dict[str, int] = {}
+        for pattern in self.patterns:
+            if pattern.kind is PatternKind.VALUE_VAR:
+                counts[pattern.value_var] = counts.get(pattern.value_var, 0) + 1
+        return tuple("$" + name for name, count in counts.items() if count > 1)
+
+    def join_width(self) -> int:
+        """Number of variables violating the join-free conditions.
+
+        This is the bound ``B`` of the *bounded joins* restriction: the
+        satisfiability algorithm enumerates candidate types/labels for
+        exactly these variables.
+        """
+        return len(self.node_join_vars()) + len(self.label_join_vars())
+
+    def is_join_free(self) -> bool:
+        """True if no node variable or label variable joins."""
+        return self.join_width() == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Query):
+            return NotImplemented
+        return self.select == other.select and self.patterns == other.patterns
+
+    def __hash__(self) -> int:
+        return hash((self.select, self.patterns))
+
+    def __repr__(self) -> str:
+        return f"Query(select={list(self.select)}, patterns={len(self.patterns)})"

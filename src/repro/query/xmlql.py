@@ -1,0 +1,226 @@
+"""An XML-QL front end (Section 2's "relating our syntax to actual XML
+query languages").
+
+The paper shows its running query in XML-QL::
+
+    WHERE <paper> $X1 </paper> IN Root,
+          <author[$i].name.*> Vianu </> IN $X1,
+          <author[$j].name.*> Abiteboul </> IN $X1,
+          $i < $j
+    CONSTRUCT <result> $X1 </result>
+
+and notes that translating XML-QL patterns into the paper's pattern
+notation is straightforward.  :func:`parse_xmlql` implements that
+translation for a representative subset:
+
+* element patterns ``<path> content </...>`` where ``path`` is a regular
+  expression over element names (``.`` concatenation, ``|`` alternation,
+  postfix ``*``/``+``/``?``, a bare ``*`` step meaning "any path" — the
+  XML-QL idiom the paper writes as ``-*``) with an optional positional
+  variable ``[$i]`` on the first step;
+* content: a node variable ``$X``, a string/number constant (the bound
+  element's value), or empty;
+* ``IN Root`` / ``IN $X`` source clauses;
+* order constraints ``$i < $j`` between positional variables;
+* ``CONSTRUCT`` with variables, which become the SELECT clause.
+
+Translation choices (documented per the paper's remarks):
+
+* clauses over the same source become arms of one *ordered* pattern
+  definition; arms with positional variables are sorted by the order
+  constraints (which must determine a total order among them — the paper
+  restricts attention to total orders), and arms without positional
+  variables keep their textual order *after* the constrained ones only if
+  textual order is consistent; mixing constrained and unconstrained arms
+  on one source is rejected to avoid silently guessing;
+* constants in content become fresh value-constant variables, exactly as
+  the paper describes its own notation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from ..automata.parser import parse_regex_string
+from ..automata.syntax import ANY, Regex, concat, star
+from ..data.model import AtomicValue
+from .model import PatternArm, PatternDef, PatternKind, Query
+
+
+class XmlqlError(SyntaxError):
+    """Raised on XML-QL input outside the supported subset."""
+
+
+class _Clause(NamedTuple):
+    source: str  # "Root" or a node variable name
+    path: Regex
+    position_var: Optional[str]  # positional variable name, without "$"
+    target: str  # node variable bound to the path's end
+    value: Optional[AtomicValue]  # constant content, if any
+    order: int  # textual order of appearance
+
+
+_CLAUSE_RE = re.compile(
+    r"<\s*(?P<path>[^>]+?)\s*>"
+    r"\s*(?P<content>[^<]*?)\s*"
+    r"</[^>]*>\s*IN\s+(?P<source>Root|\$[A-Za-z_][A-Za-z0-9_]*)",
+    re.DOTALL,
+)
+_POSITION_RE = re.compile(r"\[\$([A-Za-z_][A-Za-z0-9_]*)\]")
+_ORDER_RE = re.compile(
+    r"\$(?P<left>[A-Za-z_][A-Za-z0-9_]*)\s*<\s*\$(?P<right>[A-Za-z_][A-Za-z0-9_]*)"
+)
+_CONSTRUCT_VAR_RE = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def parse_xmlql(text: str) -> Query:
+    """Translate an XML-QL query (subset) into a :class:`Query`."""
+    where, construct = _split(text)
+    clauses, orders = _parse_where(where)
+    select = _parse_construct(construct)
+    return _translate(clauses, orders, select)
+
+
+def _split(text: str) -> Tuple[str, str]:
+    match = re.search(r"\bWHERE\b", text)
+    if match is None:
+        raise XmlqlError("XML-QL queries start with WHERE")
+    rest = text[match.end():]
+    construct_match = re.search(r"\bCONSTRUCT\b", rest)
+    if construct_match is None:
+        return rest, ""
+    return rest[: construct_match.start()], rest[construct_match.end():]
+
+
+def _parse_where(text: str) -> Tuple[List[_Clause], List[Tuple[str, str]]]:
+    clauses: List[_Clause] = []
+    orders: List[Tuple[str, str]] = []
+    fresh = itertools.count(1)
+    consumed_spans: List[Tuple[int, int]] = []
+    for order_index, match in enumerate(_CLAUSE_RE.finditer(text)):
+        consumed_spans.append(match.span())
+        path_text = match.group("path").strip()
+        # A positional variable may annotate a step: author[$i].name.*
+        position: Optional[str] = None
+        position_matches = _POSITION_RE.findall(path_text)
+        if len(position_matches) > 1:
+            raise XmlqlError(
+                f"at most one positional variable per clause: {path_text!r}"
+            )
+        if position_matches:
+            position = position_matches[0]
+            path_text = _POSITION_RE.sub("", path_text)
+        regex = _parse_path(path_text)
+        content = match.group("content").strip()
+        value: Optional[AtomicValue] = None
+        if content.startswith("$"):
+            target = content[1:]
+        elif content:
+            target = f"_c{next(fresh)}"
+            value = _parse_constant(content)
+        else:
+            target = f"_e{next(fresh)}"
+        source = match.group("source")
+        source_var = source[1:] if source.startswith("$") else source
+        clauses.append(
+            _Clause(source_var, regex, position, target, value, order_index)
+        )
+    if not clauses:
+        raise XmlqlError("no element clauses found in WHERE")
+    remainder = text
+    for start, end in reversed(consumed_spans):
+        remainder = remainder[:start] + remainder[end:]
+    for match in _ORDER_RE.finditer(remainder):
+        orders.append((match.group("left"), match.group("right")))
+    leftovers = _ORDER_RE.sub("", remainder).replace(",", "").strip()
+    if leftovers:
+        raise XmlqlError(f"unsupported XML-QL constructs: {leftovers[:60]!r}")
+    return clauses, orders
+
+
+def _parse_path(text: str) -> Regex:
+    """Parse an XML-QL path: names, '.', '|', postfix operators, '*' step."""
+    # A bare '*' step means "any path" (the paper's -*): turn standalone
+    # '*' atoms into (_*) before reusing the regular path parser.
+    rewritten = re.sub(r"(?<![\w)*+?])\*", "(_*)", text)
+    try:
+        return parse_regex_string(rewritten)
+    except SyntaxError as error:
+        raise XmlqlError(f"bad XML-QL path {text!r}: {error}") from error
+
+
+def _parse_constant(text: str) -> AtomicValue:
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text  # bare word: string constant (as in the paper's example)
+
+
+def _parse_construct(text: str) -> List[str]:
+    seen: Dict[str, None] = {}
+    for match in _CONSTRUCT_VAR_RE.finditer(text):
+        seen.setdefault(match.group(1))
+    return list(seen)
+
+
+def _translate(
+    clauses: List[_Clause],
+    orders: List[Tuple[str, str]],
+    select: List[str],
+) -> Query:
+    by_source: Dict[str, List[_Clause]] = {}
+    source_order: List[str] = []
+    for clause in clauses:
+        if clause.source not in by_source:
+            by_source[clause.source] = []
+            source_order.append(clause.source)
+        by_source[clause.source].append(clause)
+    if "Root" not in by_source:
+        raise XmlqlError("at least one clause must be rooted at Root")
+
+    patterns: List[PatternDef] = []
+    value_defs: List[PatternDef] = []
+    for source in source_order:
+        group = sorted(by_source[source], key=lambda c: c.order)
+        arms = [PatternArm(clause.path, clause.target) for clause in group]
+        partial = _order_constraints(group, orders)
+        patterns.append(
+            PatternDef(source, PatternKind.ORDERED, arms=arms, partial_order=partial)
+        )
+        for clause in group:
+            if clause.value is not None:
+                value_defs.append(
+                    PatternDef(clause.target, PatternKind.VALUE, value=clause.value)
+                )
+    # Root definition must come first.
+    patterns.sort(key=lambda p: p.var != "Root")
+    return Query(select, patterns + value_defs)
+
+
+def _order_constraints(
+    group: List[_Clause], orders: List[Tuple[str, str]]
+) -> Optional[Tuple[Tuple[int, int], ...]]:
+    """Translate ``$i < $j`` constraints into arm-index order pairs.
+
+    Clauses without positional variables follow XML-QL's document-order
+    reading only if *no* clause of the group is positional; as soon as
+    positional variables appear, exactly the declared constraints apply
+    (a genuine partial order — the paper's Section 2 remark).
+    """
+    positioned = {c.position_var: index for index, c in enumerate(group) if c.position_var}
+    if not positioned:
+        return None  # plain total (textual/document) order
+    pairs = []
+    for left, right in orders:
+        if left in positioned and right in positioned:
+            pairs.append((positioned[left], positioned[right]))
+    return tuple(pairs)

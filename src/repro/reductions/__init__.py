@@ -1,0 +1,21 @@
+"""Executable NP-hardness witnesses: 3SAT and the Theorem 3.1 reduction."""
+
+from .sat import Cnf, dpll, random_3sat
+from .threesat import (
+    assignment_to_instance,
+    formula_to_query,
+    formula_to_schema,
+    instance_to_assignment,
+    reduce_formula,
+)
+
+__all__ = [
+    "Cnf",
+    "assignment_to_instance",
+    "dpll",
+    "formula_to_query",
+    "formula_to_schema",
+    "instance_to_assignment",
+    "random_3sat",
+    "reduce_formula",
+]

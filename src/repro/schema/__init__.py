@@ -1,0 +1,59 @@
+"""ScmDL schemas (Section 2): model, syntax, DTD bridge, conformance.
+
+Provides the schema model and classifiers (:class:`Schema`,
+:class:`TypeDef`), the Table-1 textual syntax (:func:`parse_schema` /
+:func:`schema_to_string`), DTD translation (:func:`parse_dtd` /
+:func:`schema_to_dtd`), conformance checking per Definition 2.1
+(:func:`conforms`, :func:`find_type_assignment`), and schema subsumption
+(:func:`subsumes`).
+"""
+
+from .model import (
+    ATOMIC_TYPE_NAMES,
+    Schema,
+    SchemaError,
+    TypeDef,
+    TypeKind,
+    atomic_matches,
+    atomic_types_overlap,
+)
+from .parser import parse_schema, schema_to_string
+from .dtd import DtdError, parse_dtd, schema_to_dtd
+from .conformance import (
+    candidate_types,
+    conforms,
+    find_type_assignment,
+    verify_assignment,
+)
+from .subsumption import simulation, subsumes
+from .predicates import (
+    LabelPredicate,
+    PredicateSchema,
+    expand_for_data,
+    expand_for_query,
+)
+
+__all__ = [
+    "ATOMIC_TYPE_NAMES",
+    "DtdError",
+    "LabelPredicate",
+    "PredicateSchema",
+    "expand_for_data",
+    "expand_for_query",
+    "Schema",
+    "SchemaError",
+    "TypeDef",
+    "TypeKind",
+    "atomic_matches",
+    "atomic_types_overlap",
+    "candidate_types",
+    "conforms",
+    "find_type_assignment",
+    "parse_dtd",
+    "parse_schema",
+    "schema_to_dtd",
+    "schema_to_string",
+    "simulation",
+    "subsumes",
+    "verify_assignment",
+]

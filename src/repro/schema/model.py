@@ -1,0 +1,428 @@
+"""ScmDL schemas (Section 2, following [BM99]).
+
+A schema is a sequence of type definitions ``Tid = atomicType | {R} | [R]``
+where ``R`` is a regular expression over ``label -> Tid`` pairs.  The first
+type id is the root type.  Type ids starting with ``&`` are referenceable.
+
+This module provides the schema model plus the classifiers that drive
+Table 2:
+
+* **ordered** schemas (all collection types ordered), optionally relaxed
+  with *homogeneous* unordered collections ``{(a -> T)*}``;
+* **tagged** schemas (the occurs-relation between labels and type ids is
+  one-to-one);
+* **tree** schemas (no referenceable types);
+* the **DTD⁻** (ordered+tagged+tree) and **DTD⁺** (ordered+tagged) classes.
+
+It also provides the *schema graph* Γ(S) used throughout Section 3.4: the
+edges ``T --(a)--> T'`` that can occur in some instance, restricted to
+*inhabited* types (types with at least one finite instance).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..automata import (
+    NFA,
+    Regex,
+    Sym,
+    homogeneous_alternatives,
+    thompson,
+)
+from ..data.model import AtomicValue
+
+
+class TypeKind(enum.Enum):
+    """The three type shapes of Table 1."""
+
+    ATOMIC = "atomic"
+    UNORDERED = "unordered"
+    ORDERED = "ordered"
+
+
+#: The atomic types of the model.  ``string``/``int``/``float`` are the
+#: base domains used in the paper's examples.
+ATOMIC_TYPE_NAMES = ("string", "int", "float")
+
+
+def atomic_matches(atomic_type: str, value: AtomicValue) -> bool:
+    """Return True if ``value`` belongs to the named atomic type."""
+    if atomic_type == "string":
+        return isinstance(value, str)
+    if atomic_type == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if atomic_type == "float":
+        return isinstance(value, float)
+    raise ValueError(f"unknown atomic type {atomic_type!r}")
+
+
+def atomic_types_overlap(left: str, right: str) -> bool:
+    """True if two atomic types share at least one value (used for joins)."""
+    return left == right
+
+
+class TypeDef:
+    """One type definition.
+
+    For atomic types, ``atomic`` names the base domain.  For collection
+    types, ``regex`` is a regular expression whose atoms are
+    ``(label, tid)`` tuples.
+    """
+
+    __slots__ = ("tid", "kind", "atomic", "regex")
+
+    def __init__(
+        self,
+        tid: str,
+        kind: TypeKind,
+        atomic: Optional[str] = None,
+        regex: Optional[Regex] = None,
+    ):
+        if kind is TypeKind.ATOMIC:
+            if atomic not in ATOMIC_TYPE_NAMES:
+                raise ValueError(
+                    f"type {tid!r}: unknown atomic type {atomic!r} "
+                    f"(expected one of {ATOMIC_TYPE_NAMES})"
+                )
+            if regex is not None:
+                raise ValueError(f"atomic type {tid!r} cannot carry a regex")
+        else:
+            if regex is None:
+                raise ValueError(f"collection type {tid!r} requires a regex")
+            if atomic is not None:
+                raise ValueError(f"collection type {tid!r} cannot carry an atomic domain")
+            for symbol in regex.symbols():
+                if not (isinstance(symbol, tuple) and len(symbol) == 2):
+                    raise ValueError(
+                        f"type {tid!r}: regex atom {symbol!r} is not a "
+                        "(label, tid) pair"
+                    )
+            if regex.has_wildcard():
+                raise ValueError(f"type {tid!r}: wildcards are not allowed in schemas")
+        self.tid = tid
+        self.kind = kind
+        self.atomic = atomic
+        self.regex = regex
+
+    @property
+    def is_referenceable(self) -> bool:
+        return self.tid.startswith("&")
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.kind is TypeKind.ATOMIC
+
+    @property
+    def is_ordered(self) -> bool:
+        return self.kind is TypeKind.ORDERED
+
+    @property
+    def is_unordered(self) -> bool:
+        return self.kind is TypeKind.UNORDERED
+
+    def symbols(self) -> FrozenSet[Tuple[str, str]]:
+        """The ``(label, tid)`` atoms occurring in this definition."""
+        if self.regex is None:
+            return frozenset()
+        return self.regex.symbols()  # type: ignore[return-value]
+
+    def is_homogeneous_unordered(self) -> bool:
+        """True for unordered types of the form ``{(a1->T1 | ... | ak->Tk)*}``.
+
+        The paper's relaxation of ordered schemas admits homogeneous
+        unordered collections ``{(a->T)*}``; we also accept the union form,
+        which keeps bag membership PTIME (see :mod:`repro.automata.bag`).
+        """
+        if self.kind is not TypeKind.UNORDERED:
+            return False
+        return homogeneous_alternatives(self.regex) is not None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypeDef):
+            return NotImplemented
+        return (
+            self.tid == other.tid
+            and self.kind == other.kind
+            and self.atomic == other.atomic
+            and self.regex == other.regex
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tid, self.kind, self.atomic, self.regex))
+
+    def __repr__(self) -> str:
+        if self.is_atomic:
+            return f"TypeDef({self.tid!r}, {self.atomic})"
+        brackets = "[]" if self.is_ordered else "{}"
+        return f"TypeDef({self.tid!r}, {brackets[0]}{self.regex!r}{brackets[1]})"
+
+
+class SchemaError(ValueError):
+    """Raised when a schema violates well-formedness rules."""
+
+
+class Schema:
+    """A well-formed ScmDL schema.
+
+    Args:
+        types: type definitions in order; the first is the root type.
+        validate: if True (default), check that every referenced tid is
+            defined and that every type is inhabited by some finite instance.
+    """
+
+    __slots__ = ("types", "root", "_edges_cache", "_inhabited_cache")
+
+    def __init__(self, types: Iterable[TypeDef], validate: bool = True):
+        type_list = list(types)
+        if not type_list:
+            raise SchemaError("a schema needs at least one type definition")
+        self.types: Dict[str, TypeDef] = {}
+        for type_def in type_list:
+            if type_def.tid in self.types:
+                raise SchemaError(f"type {type_def.tid!r} defined more than once")
+            self.types[type_def.tid] = type_def
+        self.root = type_list[0].tid
+        self._edges_cache: Optional[Dict[str, FrozenSet[Tuple[str, str]]]] = None
+        self._inhabited_cache: Optional[FrozenSet[str]] = None
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        for type_def in self.types.values():
+            for _label, target in type_def.symbols():
+                if target not in self.types:
+                    raise SchemaError(
+                        f"type {type_def.tid!r} references undefined type {target!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def type(self, tid: str) -> TypeDef:
+        """Return the definition of ``tid`` (KeyError if undefined)."""
+        return self.types[tid]
+
+    @property
+    def root_type(self) -> TypeDef:
+        return self.types[self.root]
+
+    def __len__(self) -> int:
+        return len(self.types)
+
+    def __iter__(self) -> Iterator[TypeDef]:
+        return iter(self.types.values())
+
+    def __contains__(self, tid: str) -> bool:
+        return tid in self.types
+
+    def tids(self) -> Tuple[str, ...]:
+        return tuple(self.types)
+
+    def labels(self) -> FrozenSet[str]:
+        """All labels occurring in the schema."""
+        return frozenset(
+            label for type_def in self for label, _target in type_def.symbols()
+        )
+
+    def symbol_alphabet(self) -> FrozenSet[Tuple[str, str]]:
+        """All ``(label, tid)`` atoms occurring anywhere in the schema."""
+        result: Set[Tuple[str, str]] = set()
+        for type_def in self:
+            result.update(type_def.symbols())
+        return frozenset(result)
+
+    def compile_regex(self, tid: str) -> NFA:
+        """Compile the regex of a collection type over the schema alphabet."""
+        type_def = self.types[tid]
+        if type_def.regex is None:
+            raise SchemaError(f"type {tid!r} is atomic and has no regex")
+        return thompson(type_def.regex, self.symbol_alphabet())
+
+    # ------------------------------------------------------------------
+    # Classification (the Table-2 schema restrictions)
+    # ------------------------------------------------------------------
+
+    def is_ordered(self, allow_homogeneous: bool = False) -> bool:
+        """True if all collection types are ordered.
+
+        With ``allow_homogeneous=True``, homogeneous unordered collections
+        are also admitted (the relaxation of Section 3).
+        """
+        for type_def in self:
+            if type_def.is_unordered:
+                if not (allow_homogeneous and type_def.is_homogeneous_unordered()):
+                    return False
+        return True
+
+    def tag_relation(self) -> Dict[str, Set[str]]:
+        """The occurs-relation: label -> set of type ids it points to."""
+        relation: Dict[str, Set[str]] = {}
+        for type_def in self:
+            for label, target in type_def.symbols():
+                relation.setdefault(label, set()).add(target)
+        return relation
+
+    def is_tagged(self) -> bool:
+        """True if the label/type-id occurs-relation is one-to-one."""
+        relation = self.tag_relation()
+        targets_seen: Set[str] = set()
+        for targets in relation.values():
+            if len(targets) != 1:
+                return False
+            (target,) = targets
+            if target in targets_seen:
+                return False
+            targets_seen.add(target)
+        return True
+
+    def tag_of(self, label: str) -> Optional[str]:
+        """For tagged schemas: the unique type id a label points to."""
+        targets = self.tag_relation().get(label)
+        if targets and len(targets) == 1:
+            return next(iter(targets))
+        return None
+
+    def is_tree(self) -> bool:
+        """True if the schema has no referenceable types."""
+        return not any(type_def.is_referenceable for type_def in self)
+
+    def is_dtd_minus(self) -> bool:
+        """True for the DTD⁻ class: ordered, tagged, tree."""
+        return self.is_ordered() and self.is_tagged() and self.is_tree()
+
+    def is_dtd_plus(self) -> bool:
+        """True for the DTD⁺ class: ordered, tagged."""
+        return self.is_ordered() and self.is_tagged()
+
+    # ------------------------------------------------------------------
+    # Inhabitation and the schema graph Γ(S)
+    # ------------------------------------------------------------------
+
+    def inhabited_types(self) -> FrozenSet[str]:
+        """Type ids with at least one finite conforming instance.
+
+        Least fixpoint: atomic types are inhabited; a collection type is
+        inhabited once its regex accepts some word using only inhabited
+        targets.
+        """
+        if self._inhabited_cache is not None:
+            return self._inhabited_cache
+        inhabited: Set[str] = {t.tid for t in self if t.is_atomic}
+        changed = True
+        compiled = {
+            t.tid: self.compile_regex(t.tid) for t in self if not t.is_atomic
+        }
+        while changed:
+            changed = False
+            for type_def in self:
+                if type_def.tid in inhabited or type_def.is_atomic:
+                    continue
+                nfa = compiled[type_def.tid]
+                restricted = _restrict_to_targets(nfa, inhabited)
+                if not restricted.is_empty():
+                    inhabited.add(type_def.tid)
+                    changed = True
+        self._inhabited_cache = frozenset(inhabited)
+        return self._inhabited_cache
+
+    def inhabitation_ranks(self) -> Dict[str, int]:
+        """Fixpoint round at which each inhabited type gained an instance.
+
+        Atomic types have rank 0; a collection type of rank ``r`` accepts
+        some content word whose targets all have rank strictly below
+        ``r``.  Useful for constructing *minimal* instances: following
+        rank-decreasing words always terminates.  Uninhabited types are
+        absent from the result.
+        """
+        ranks: Dict[str, int] = {t.tid: 0 for t in self if t.is_atomic}
+        compiled = {
+            t.tid: self.compile_regex(t.tid) for t in self if not t.is_atomic
+        }
+        round_index = 0
+        changed = True
+        while changed:
+            changed = False
+            round_index += 1
+            known = set(ranks)
+            for type_def in self:
+                if type_def.tid in ranks or type_def.is_atomic:
+                    continue
+                restricted = _restrict_to_targets(compiled[type_def.tid], known)
+                if not restricted.is_empty():
+                    ranks[type_def.tid] = round_index
+                    changed = True
+        return ranks
+
+    def possible_edges(self) -> Dict[str, FrozenSet[Tuple[str, str]]]:
+        """The schema graph Γ(S): for each type, the ``(label, tid)`` pairs
+        that occur in some instance of that type.
+
+        A pair qualifies if it appears in some word of the type's regex in
+        which every symbol targets an inhabited type.
+        """
+        if self._edges_cache is not None:
+            return self._edges_cache
+        inhabited = self.inhabited_types()
+        result: Dict[str, FrozenSet[Tuple[str, str]]] = {}
+        for type_def in self:
+            if type_def.is_atomic:
+                result[type_def.tid] = frozenset()
+                continue
+            nfa = self.compile_regex(type_def.tid)
+            restricted = _restrict_to_targets(nfa, inhabited)
+            result[type_def.tid] = frozenset(restricted.useful_symbols())
+        self._edges_cache = result
+        return self._edges_cache
+
+    def reachable_types(self) -> FrozenSet[str]:
+        """Types reachable from the root through Γ(S)."""
+        edges = self.possible_edges()
+        seen = {self.root}
+        stack = [self.root]
+        while stack:
+            tid = stack.pop()
+            for _label, target in edges.get(tid, ()):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.root == other.root and self.types == other.types
+
+    def __hash__(self) -> int:
+        return hash((self.root, tuple(self.types.values())))
+
+    def __repr__(self) -> str:
+        return f"Schema(root={self.root!r}, types={len(self.types)})"
+
+
+def _restrict_to_targets(nfa: NFA, allowed_targets: Set[str]) -> NFA:
+    """Drop arcs whose ``(label, tid)`` symbol targets a type outside the set."""
+    from ..automata.nfa import EPS
+
+    transitions = {}
+    for src, arcs in nfa.transitions.items():
+        kept = [
+            (symbol, dst)
+            for symbol, dst in arcs
+            if symbol is EPS or symbol[1] in allowed_targets
+        ]
+        if kept:
+            transitions[src] = kept
+    return NFA(nfa.n_states, nfa.alphabet, nfa.start, nfa.accepting, transitions)

@@ -1,0 +1,93 @@
+"""Parser and printer for the Table-1 schema syntax.
+
+Grammar::
+
+    SchemaDef ::= Tid=Type ; ... ; Tid=Type
+    Type      ::= atomicType | { R } | [ R ]
+    R         ::= (R.R) | (R|R) | (R*) | eps | label->Tid
+
+Atomic types are ``string``, ``int``, ``float``.  Example (the Document
+schema of Section 2)::
+
+    DOCUMENT = [(paper -> PAPER)*];
+    PAPER    = [title -> TITLE . (author -> AUTHOR)*];
+    AUTHOR   = [name -> NAME . email -> EMAIL];
+    NAME     = [firstname -> FIRSTNAME . lastname -> LASTNAME];
+    TITLE = string; FIRSTNAME = string; LASTNAME = string; EMAIL = string
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..automata.parser import parse_regex, regex_to_string
+from ..automata.syntax import EPSILON, Regex, sym
+from ..lexer import TokenStream
+from .model import ATOMIC_TYPE_NAMES, Schema, TypeDef, TypeKind
+
+
+def _schema_atom(label: str, target: Optional[str]) -> Regex:
+    if target is None:
+        raise SyntaxError(f"schema atom {label!r} is missing its '-> Tid' part")
+    return sym((label, target))
+
+
+def parse_schema(text: str, validate: bool = True) -> Schema:
+    """Parse a schema from its textual representation."""
+    stream = TokenStream(text)
+    types: List[TypeDef] = []
+    while not stream.at_end():
+        types.append(_parse_definition(stream))
+        if stream.match("OP", ";") is None:
+            break
+    if not stream.at_end():
+        token = stream.current
+        raise SyntaxError(
+            f"unexpected {token.kind} {token.value!r} at line {token.line}, "
+            f"column {token.column}"
+        )
+    return Schema(types, validate=validate)
+
+
+def _parse_definition(stream: TokenStream) -> TypeDef:
+    tid = str(stream.expect("IDENT").value)
+    stream.expect("OP", "=")
+    if stream.match("OP", "{"):
+        if stream.match("OP", "}"):
+            return TypeDef(tid, TypeKind.UNORDERED, regex=EPSILON)
+        regex = parse_regex(stream, _schema_atom, allow_arrow=True, allow_wildcard=False)
+        stream.expect("OP", "}")
+        return TypeDef(tid, TypeKind.UNORDERED, regex=regex)
+    if stream.match("OP", "["):
+        if stream.match("OP", "]"):
+            return TypeDef(tid, TypeKind.ORDERED, regex=EPSILON)
+        regex = parse_regex(stream, _schema_atom, allow_arrow=True, allow_wildcard=False)
+        stream.expect("OP", "]")
+        return TypeDef(tid, TypeKind.ORDERED, regex=regex)
+    token = stream.expect("IDENT")
+    name = str(token.value)
+    if name not in ATOMIC_TYPE_NAMES:
+        raise SyntaxError(
+            f"unknown atomic type {name!r} for {tid!r} at line {token.line} "
+            f"(expected one of {', '.join(ATOMIC_TYPE_NAMES)})"
+        )
+    return TypeDef(tid, TypeKind.ATOMIC, atomic=name)
+
+
+def schema_to_string(schema: Schema, indent: bool = True) -> str:
+    """Render a schema in the Table-1 syntax (parse round-trips)."""
+    separator = ";\n" if indent else "; "
+    return separator.join(_render_type(type_def) for type_def in schema)
+
+
+def _render_type(type_def: TypeDef) -> str:
+    if type_def.is_atomic:
+        return f"{type_def.tid} = {type_def.atomic}"
+    open_, close = ("[", "]") if type_def.is_ordered else ("{", "}")
+    body = regex_to_string(type_def.regex, _show_schema_atom)
+    return f"{type_def.tid} = {open_}{body}{close}"
+
+
+def _show_schema_atom(symbol: object) -> str:
+    label, target = symbol  # type: ignore[misc]
+    return f"{label}->{target}"

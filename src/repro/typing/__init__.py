@@ -1,0 +1,66 @@
+"""The paper's core: type inference for queries on semistructured data.
+
+Implements the four problems of Section 3 — satisfiability
+(:func:`is_satisfiable`), total and partial type checking
+(:func:`check_total_types`, :func:`check_types`), and type inference
+(:func:`infer_types`) — plus the traces machinery of Section 3.4
+(:mod:`repro.typing.traces`) and the Table-2 complexity classifier
+(:func:`classify`).
+"""
+
+from .satisfiability import (
+    Pins,
+    SatisfiabilityChecker,
+    is_satisfiable,
+)
+from .typecheck import check_total_types, check_types
+from .inference import infer_types, inferred_types_of, iterate_inferred_types
+from .traces import (
+    flat_satisfiable,
+    inferred_marker_types,
+    marker,
+    pattern_trace_nfa,
+    schema_trace_nfa,
+    segment_projection,
+    segment_regex,
+    trace_product,
+)
+from .complexity import (
+    Classification,
+    classify,
+    table2_columns,
+    table2_prediction,
+    table2_rows,
+)
+from .reach import SchemaReach
+from .grammar import NonTerm, TraceGrammar
+from .witness import WitnessError, find_witness
+
+__all__ = [
+    "Classification",
+    "NonTerm",
+    "TraceGrammar",
+    "WitnessError",
+    "find_witness",
+    "Pins",
+    "SatisfiabilityChecker",
+    "SchemaReach",
+    "check_total_types",
+    "check_types",
+    "classify",
+    "flat_satisfiable",
+    "infer_types",
+    "inferred_marker_types",
+    "inferred_types_of",
+    "is_satisfiable",
+    "iterate_inferred_types",
+    "marker",
+    "pattern_trace_nfa",
+    "schema_trace_nfa",
+    "segment_projection",
+    "segment_regex",
+    "table2_columns",
+    "table2_prediction",
+    "table2_rows",
+    "trace_product",
+]

@@ -1,0 +1,146 @@
+"""Table 2: classify a (schema, query) pair into its complexity cell.
+
+The paper's Table 2 summarizes the complexity of the type-correctness
+(satisfiability) problem under schema restrictions (rows) and query
+restrictions (columns).  :func:`classify` reports which cell a given pair
+falls into and the predicted complexity, and explains *why* the
+implementation realizes that bound (which enumeration domains collapse).
+
+Cells encoded (query complexity / combined complexity):
+
+==================  =========  =========  =======  ========  ========  ==========
+schema \\ query      arbitrary  join-free  bounded  constant  constant  join-free
+                                           joins    labels    suffix    + c.labels
+==================  =========  =========  =======  ========  ========  ==========
+unordered (any)     NP/NP      NP/NP      NP/NP    NP/NP     NP/NP     NP/NP
+ordered             NP/NP      P/P        P/P      NP/NP     NP/NP     P/P
+tagged (unordered)  NP/NP      NP/NP      NP/NP    NP/NP     NP/NP     NP/NP
+ordered + tagged    NP/NP      P/P        P/P      P/P       P/P       P/P
+==================  =========  =========  =======  ========  ========  ==========
+
+"ordered" includes the relaxation with homogeneous unordered collections.
+The NP entries of the unordered/tagged rows reflect the paper's remark
+that the query restrictions are "not effective without order" (rightmost
+column of Table 2) and that "tagging alone does not suffice" (line 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..query.model import Query
+from ..schema.model import Schema
+
+#: Default bound for the *bounded joins* column.
+DEFAULT_JOIN_BOUND = 2
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Where a (schema, query) pair sits in Table 2."""
+
+    schema_row: str
+    query_column: str
+    query_complexity: str
+    combined_complexity: str
+    schema_ordered: bool
+    schema_tagged: bool
+    schema_tree: bool
+    schema_is_dtd_minus: bool
+    schema_is_dtd_plus: bool
+    query_join_free: bool
+    query_join_width: int
+    query_constant_labels: bool
+    query_constant_suffix: bool
+    query_projection_free: bool
+
+    @property
+    def polynomial(self) -> bool:
+        """True if the predicted combined complexity is polynomial."""
+        return self.combined_complexity == "PTIME"
+
+
+def classify(
+    query: Query, schema: Schema, join_bound: int = DEFAULT_JOIN_BOUND
+) -> Classification:
+    """Classify the pair into its Table-2 cell.
+
+    ``join_bound`` is the constant ``B`` of the bounded-joins restriction.
+    """
+    ordered = schema.is_ordered(allow_homogeneous=True)
+    tagged = schema.is_tagged()
+    if ordered and tagged:
+        row = "ordered+tagged"
+    elif ordered:
+        row = "ordered"
+    elif tagged:
+        row = "tagged"
+    else:
+        row = "arbitrary"
+
+    join_free = query.is_join_free()
+    constant_labels = query.is_constant_labels()
+    constant_suffix = query.is_constant_suffix()
+    width = query.join_width()
+    if join_free and constant_labels:
+        column = "join-free+constant-labels"
+    elif join_free:
+        column = "join-free"
+    elif width <= join_bound:
+        column = "bounded-joins"
+    elif constant_labels:
+        column = "constant-labels"
+    elif constant_suffix:
+        column = "constant-suffix"
+    else:
+        column = "arbitrary"
+
+    polynomial = _cell_polynomial(row, column)
+    complexity = "PTIME" if polynomial else "NP-complete"
+    return Classification(
+        schema_row=row,
+        query_column=column,
+        query_complexity=complexity,
+        combined_complexity=complexity,
+        schema_ordered=ordered,
+        schema_tagged=tagged,
+        schema_tree=schema.is_tree(),
+        schema_is_dtd_minus=schema.is_dtd_minus(),
+        schema_is_dtd_plus=schema.is_dtd_plus(),
+        query_join_free=join_free,
+        query_join_width=width,
+        query_constant_labels=constant_labels,
+        query_constant_suffix=constant_suffix,
+        query_projection_free=query.is_projection_free(),
+    )
+
+
+def _cell_polynomial(row: str, column: str) -> bool:
+    if row == "ordered":
+        return column in ("join-free", "bounded-joins", "join-free+constant-labels")
+    if row == "ordered+tagged":
+        return column != "arbitrary"
+    return False
+
+
+def table2_rows() -> Tuple[str, ...]:
+    """The schema rows of Table 2, in display order."""
+    return ("arbitrary", "ordered", "tagged", "ordered+tagged")
+
+
+def table2_columns() -> Tuple[str, ...]:
+    """The query columns of Table 2, in display order."""
+    return (
+        "arbitrary",
+        "join-free",
+        "bounded-joins",
+        "constant-labels",
+        "constant-suffix",
+        "join-free+constant-labels",
+    )
+
+
+def table2_prediction(row: str, column: str) -> str:
+    """The predicted complexity of a Table-2 cell."""
+    return "PTIME" if _cell_polynomial(row, column) else "NP-complete"

@@ -1,0 +1,130 @@
+"""Schema-product reachability: the PTIME engine behind the traces technique.
+
+Section 3.4 reduces satisfiability questions to emptiness of intersections
+between pattern languages and the schema's trace language ``Tr(S)``.
+Operationally every such intersection is a reachability computation in the
+product of the *schema graph* Γ(S) (types connected by the ``(label, type)``
+edges that can occur in some instance) with the NFA of a regular path
+expression.
+
+:class:`SchemaReach` packages those computations with caching:
+
+* :meth:`compile_path` — compile a pattern path regex against the schema's
+  label alphabet (wildcards expand to the schema's labels, which is complete
+  because instance labels are always drawn from the schema);
+* :meth:`step_targets` — one product step from a (type, state-set) pair;
+* :meth:`completions` — all (type, accepting state-set) pairs reachable from
+  a start configuration, i.e. the candidate end types of a path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..automata.nfa import NFA, thompson
+from ..automata.syntax import Regex
+from ..schema.model import Schema
+
+
+class SchemaReach:
+    """Cached product-reachability computations over a schema."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.edges = schema.possible_edges()
+        self.labels = frozenset(schema.labels())
+        self._compiled: Dict[Regex, NFA] = {}
+        self._completions: Dict[
+            Tuple[Regex, str, FrozenSet[int]], FrozenSet[Tuple[str, FrozenSet[int]]]
+        ] = {}
+
+    def compile_path(self, regex: Regex) -> NFA:
+        """Compile a path regex over the schema's labels (plus its own)."""
+        if regex not in self._compiled:
+            alphabet = self.labels | frozenset(regex.symbols())
+            self._compiled[regex] = thompson(regex, alphabet)
+        return self._compiled[regex]
+
+    def initial_states(self, regex: Regex) -> FrozenSet[int]:
+        return self.compile_path(regex).initial_states()
+
+    def start_symbols(
+        self, regex: Regex, source_type: str
+    ) -> List[Tuple[Tuple[str, str], FrozenSet[int]]]:
+        """First-step options for a path leaving a node of ``source_type``.
+
+        Returns ``((label, target_type), states_after_label)`` pairs for
+        every schema edge whose label the regex can start with.
+        """
+        nfa = self.compile_path(regex)
+        start = nfa.initial_states()
+        options = []
+        for label, target in sorted(self.edges.get(source_type, ())):
+            after = nfa.step(start, label)
+            if after:
+                options.append(((label, target), after))
+        return options
+
+    def step(
+        self, regex: Regex, configuration: Tuple[str, FrozenSet[int]]
+    ) -> List[Tuple[Tuple[str, str], FrozenSet[int]]]:
+        """One product step from ``(type, states)``; see start_symbols."""
+        nfa = self.compile_path(regex)
+        source_type, states = configuration
+        options = []
+        for label, target in sorted(self.edges.get(source_type, ())):
+            after = nfa.step(states, label)
+            if after:
+                options.append((((label, target)), after))
+        return options
+
+    def completions(
+        self, regex: Regex, start_type: str, states: FrozenSet[int]
+    ) -> FrozenSet[Tuple[str, FrozenSet[int]]]:
+        """All ``(type, states)`` configurations reachable from the start
+        configuration, including it, restricted to live configurations."""
+        key = (regex, start_type, states)
+        if key in self._completions:
+            return self._completions[key]
+        seen: Set[Tuple[str, FrozenSet[int]]] = {(start_type, states)}
+        stack = [(start_type, states)]
+        nfa = self.compile_path(regex)
+        while stack:
+            current_type, current_states = stack.pop()
+            for (label, target) in self.edges.get(current_type, ()):
+                after = nfa.step(current_states, label)
+                if after and (target, after) not in seen:
+                    seen.add((target, after))
+                    stack.append((target, after))
+        result = frozenset(seen)
+        self._completions[key] = result
+        return result
+
+    def reachable_end_types(
+        self, regex: Regex, start_type: str, states: FrozenSet[int]
+    ) -> FrozenSet[str]:
+        """Types at which the path can end (configurations with an accepting
+        state), starting from ``(start_type, states)``."""
+        nfa = self.compile_path(regex)
+        ends = set()
+        for current_type, current_states in self.completions(regex, start_type, states):
+            if current_states & nfa.accepting:
+                ends.add(current_type)
+        return frozenset(ends)
+
+    def can_complete(
+        self,
+        regex: Regex,
+        start_type: str,
+        states: FrozenSet[int],
+        end_types: Iterable[str],
+    ) -> bool:
+        """True if the path can end at a node whose type is in ``end_types``."""
+        wanted = set(end_types)
+        if not wanted:
+            return False
+        nfa = self.compile_path(regex)
+        for current_type, current_states in self.completions(regex, start_type, states):
+            if current_type in wanted and (current_states & nfa.accepting):
+                return True
+        return False

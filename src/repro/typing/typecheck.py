@@ -1,0 +1,64 @@
+"""Type checking — problems (2) and (3) of Section 3.
+
+*Total* type checking receives a type for every node and value variable
+and a label for every label variable, and asks whether some instance and
+binding realize exactly that assignment.  *Partial* type checking receives
+an assignment for the SELECT variables only.  The paper shows total
+checking is PTIME for ordered schemas (Proposition 3.2) while partial
+checking is as hard as satisfiability (they coincide on boolean queries);
+both facts fall out of the implementation: a fully pinned query has no
+join enumeration left, while a partially pinned one still enumerates the
+unpinned join variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..query.model import Query
+from ..schema.model import Schema
+from .satisfiability import Pins, SatisfiabilityChecker
+
+
+def check_total_types(
+    query: Query, schema: Schema, assignment: Pins
+) -> bool:
+    """Total type checking (problem 2).
+
+    ``assignment`` must cover every node variable (type id), every value
+    variable (atomic type name, key ``$v``), and every label variable
+    (label, key ``$l``).
+
+    Raises:
+        ValueError: if the assignment misses a variable.
+    """
+    missing = [
+        var
+        for var in (
+            list(query.node_vars())
+            + list(query.value_vars())
+            + list(query.label_vars())
+        )
+        if var not in assignment
+    ]
+    if missing:
+        raise ValueError(
+            f"total type checking requires an assignment for all variables; "
+            f"missing {missing}"
+        )
+    return SatisfiabilityChecker(query, schema).satisfiable(dict(assignment))
+
+
+def check_types(query: Query, schema: Schema, assignment: Pins) -> bool:
+    """(Partial) type checking (problem 3).
+
+    ``assignment`` gives types/labels for the SELECT variables; the other
+    variables remain free.  Equivalent to satisfiability when the SELECT
+    clause is empty.
+    """
+    unknown = [var for var in assignment if var not in query.select]
+    if unknown:
+        raise ValueError(
+            f"partial type checking only pins SELECT variables; got {unknown}"
+        )
+    return SatisfiabilityChecker(query, schema).satisfiable(dict(assignment))

@@ -1,0 +1,48 @@
+"""Synthetic workloads: schema/query families and instance generation.
+
+These feed the benchmark harness: one schema family per Table-2 row, one
+query family per column, plus conforming-instance enumeration/sampling
+used by the Section 4.2 oracle and the property tests.
+"""
+
+from .instances import (
+    enumerate_instances,
+    random_instance,
+)
+from .schemas import (
+    chain_schema,
+    join_schema,
+    document_schema,
+    random_dtd,
+    union_chain_schema,
+    unordered_schema,
+    wide_document_schema,
+)
+from .queries import (
+    bounded_join_query,
+    chain_query,
+    constant_label_query,
+    constant_suffix_query,
+    deep_tree_query,
+    random_join_free_query,
+    star_fanout_query,
+)
+
+__all__ = [
+    "bounded_join_query",
+    "chain_query",
+    "chain_schema",
+    "constant_label_query",
+    "constant_suffix_query",
+    "deep_tree_query",
+    "document_schema",
+    "enumerate_instances",
+    "join_schema",
+    "random_dtd",
+    "random_instance",
+    "random_join_free_query",
+    "star_fanout_query",
+    "union_chain_schema",
+    "unordered_schema",
+    "wide_document_schema",
+]

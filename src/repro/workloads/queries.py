@@ -1,0 +1,118 @@
+"""Query families for the benchmark harness, one per Table-2 column."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..automata.syntax import ANY, Regex, Sym, concat, plus, star, word
+from ..query.model import PatternArm, PatternDef, PatternKind, Query
+
+
+def chain_query(depth: int, wildcard: bool = False) -> Query:
+    """Join-free single-path query matching :func:`chain_schema`.
+
+    ``SELECT X WHERE Root = [a1.a2...an -> X]`` — or, with ``wildcard``,
+    ``[(_*).an -> X]`` (constant suffix, regular prefix).
+    """
+    if wildcard:
+        path: Regex = concat(star(ANY), Sym(f"a{depth}"))
+    else:
+        path = word([f"a{level}" for level in range(1, depth + 1)])
+    root = PatternDef("Root", PatternKind.ORDERED, arms=[PatternArm(path, "X")])
+    return Query(["X"], [root])
+
+
+def star_fanout_query(n_arms: int, label: str = "paper") -> Query:
+    """Join-free query with ``n_arms`` sibling arms under one star label.
+
+    ``SELECT X1..Xn WHERE Root = [paper -> X1, ..., paper -> Xn]``.
+    """
+    arms = [PatternArm(Sym(label), f"X{index + 1}") for index in range(n_arms)]
+    root = PatternDef("Root", PatternKind.ORDERED, arms=arms)
+    return Query([f"X{index + 1}" for index in range(n_arms)], [root])
+
+
+def bounded_join_query(depth: int, n_joins: int = 1) -> Query:
+    """Queries with exactly ``n_joins`` node-join variables.
+
+    Matches :func:`repro.workloads.schemas.join_schema`: each join
+    variable ``&Jj`` is reached through both the ``aj...`` and ``bj...``
+    chains, which converge on the same referenceable leaves.
+    """
+    arms: List[PatternArm] = []
+    for join in range(n_joins):
+        target = f"&J{join}"
+        for side in ("a", "b"):
+            path = word(
+                [f"{side}{join}_{level}" for level in range(1, depth + 1)]
+                + ["end"]
+            )
+            arms.append(PatternArm(path, target))
+    root = PatternDef("Root", PatternKind.ORDERED, arms=arms)
+    return Query([], [root])
+
+
+def constant_label_query(labels: List[str]) -> Query:
+    """A constant-labels query: one arm per literal label path."""
+    arms = [PatternArm(Sym(label), f"X{index}") for index, label in enumerate(labels)]
+    root = PatternDef("Root", PatternKind.ORDERED, arms=arms)
+    return Query([], [root])
+
+
+def constant_suffix_query(suffix: str, n_arms: int = 1) -> Query:
+    """Arms of the form ``(_*).suffix`` (the R.l restriction)."""
+    arms = [
+        PatternArm(concat(star(ANY), Sym(suffix)), f"X{index}")
+        for index in range(n_arms)
+    ]
+    root = PatternDef("Root", PatternKind.ORDERED, arms=arms)
+    return Query([f"X{index}" for index in range(n_arms)], [root])
+
+
+def deep_tree_query(depth: int, branch_labels: Optional[List[str]] = None) -> Query:
+    """A nested join-free pattern tree of the given depth.
+
+    ``Root = [l -> X1]; X1 = [l -> X2]; ...`` — exercises the acyclic
+    extended CFG construction on nested definitions.
+    """
+    labels = branch_labels or [f"a{level}" for level in range(1, depth + 1)]
+    patterns = []
+    previous = "Root"
+    for level, label in enumerate(labels):
+        target = f"X{level + 1}"
+        patterns.append(
+            PatternDef(
+                previous, PatternKind.ORDERED, arms=[PatternArm(Sym(label), target)]
+            )
+        )
+        previous = target
+    return Query([f"X{len(labels)}"], patterns)
+
+
+def random_join_free_query(
+    schema_labels: List[str],
+    n_arms: int,
+    rng: Optional[random.Random] = None,
+    max_path: int = 3,
+) -> Query:
+    """Random join-free flat query over the given label vocabulary."""
+    rng = rng or random.Random()
+    arms = []
+    for index in range(n_arms):
+        length = rng.randint(1, max_path)
+        pieces: List[Regex] = []
+        for _ in range(length):
+            choice = rng.random()
+            if choice < 0.2:
+                pieces.append(ANY)
+            elif choice < 0.3:
+                pieces.append(star(ANY))
+            else:
+                pieces.append(Sym(rng.choice(schema_labels)))
+        path = concat(*pieces)
+        if path.nullable() or path.is_empty_language():
+            path = concat(Sym(rng.choice(schema_labels)), path)
+        arms.append(PatternArm(path, f"X{index + 1}"))
+    root = PatternDef("Root", PatternKind.ORDERED, arms=arms)
+    return Query([], [root])

@@ -1,0 +1,253 @@
+"""Schema families for the benchmark harness.
+
+Each generator targets a row of Table 2 (or an application section):
+
+* :func:`chain_schema`, :func:`document_schema`, :func:`random_dtd` —
+  ordered + tagged (the DTD⁻/DTD⁺ rows);
+* :func:`union_chain_schema` — ordered but untagged (union types);
+* :func:`unordered_schema` — the unordered column;
+* :func:`wide_document_schema` — parameterized fan-out for the Section 4.2
+  evaluation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..automata.syntax import EPSILON, Regex, Sym, alt, concat, opt, star
+from ..schema.model import Schema, TypeDef, TypeKind
+
+
+def chain_schema(depth: int) -> Schema:
+    """``T0 = [a1 -> T1]; ... ; T{n-1} = [an -> Tn]; Tn = string``.
+
+    Ordered, tagged, tree — the simplest DTD⁻ family; size scales with
+    ``depth``.
+    """
+    types: List[TypeDef] = []
+    for level in range(depth):
+        types.append(
+            TypeDef(
+                f"T{level}",
+                TypeKind.ORDERED,
+                regex=Sym((f"a{level + 1}", f"T{level + 1}")),
+            )
+        )
+    types.append(TypeDef(f"T{depth}", TypeKind.ATOMIC, atomic="string"))
+    return Schema(types)
+
+
+def document_schema(n_sections: int = 3) -> Schema:
+    """The paper's Document/paper/author schema, widened to ``n_sections``
+    extra section levels per paper (ordered + tagged + tree)."""
+    section_types = []
+    for level in range(n_sections):
+        section_types.append(
+            TypeDef(
+                f"SEC{level}",
+                TypeKind.ORDERED,
+                regex=concat(
+                    Sym((f"head{level}", f"HEAD{level}")),
+                    star(Sym((f"sec{level + 1}", f"SEC{level + 1}")))
+                    if level < n_sections - 1
+                    else EPSILON,
+                ),
+            )
+        )
+        section_types.append(
+            TypeDef(f"HEAD{level}", TypeKind.ATOMIC, atomic="string")
+        )
+    types = [
+        TypeDef("DOCUMENT", TypeKind.ORDERED, regex=star(Sym(("paper", "PAPER")))),
+        TypeDef(
+            "PAPER",
+            TypeKind.ORDERED,
+            regex=concat(
+                Sym(("title", "TITLE")),
+                star(Sym(("author", "AUTHOR"))),
+                star(Sym(("sec1", "SEC1"))) if n_sections >= 2 else EPSILON,
+            ),
+        ),
+        TypeDef(
+            "AUTHOR",
+            TypeKind.ORDERED,
+            regex=concat(Sym(("name", "NAME")), Sym(("email", "EMAIL"))),
+        ),
+        TypeDef(
+            "NAME",
+            TypeKind.ORDERED,
+            regex=concat(
+                Sym(("firstname", "FIRSTNAME")), Sym(("lastname", "LASTNAME"))
+            ),
+        ),
+    ]
+    types += [t for t in section_types if t.tid != "SEC0"]
+    types += [
+        TypeDef("TITLE", TypeKind.ATOMIC, atomic="string"),
+        TypeDef("EMAIL", TypeKind.ATOMIC, atomic="string"),
+        TypeDef("FIRSTNAME", TypeKind.ATOMIC, atomic="string"),
+        TypeDef("LASTNAME", TypeKind.ATOMIC, atomic="string"),
+    ]
+    kept = []
+    referenced = {"DOCUMENT"}
+    for type_def in types:
+        referenced |= {target for _l, target in type_def.symbols()}
+    for type_def in types:
+        if type_def.tid in referenced:
+            kept.append(type_def)
+    return Schema(kept)
+
+
+def union_chain_schema(depth: int, width: int = 2) -> Schema:
+    """Ordered but *untagged*: each label fans out to ``width`` types.
+
+    ``T0 = [(a1 -> T1_0 | a1 -> T1_1 | ...)]; ...`` — the family that
+    keeps joins NP-hard on ordered schemas (candidate sets do not
+    collapse).
+    """
+    types: List[TypeDef] = []
+
+    def tid(level: int, branch: int) -> str:
+        # Leaves are referenceable so that join variables (which must be
+        # referenceable) can target them.
+        prefix = "&" if level == depth else ""
+        return f"{prefix}T{level}_{branch}"
+
+    for level in range(depth):
+        options = [
+            Sym((f"a{level + 1}", tid(level + 1, branch))) for branch in range(width)
+        ]
+        if level == 0:
+            types.append(TypeDef("T0", TypeKind.ORDERED, regex=alt(*options)))
+        else:
+            for branch in range(width):
+                types.append(
+                    TypeDef(tid(level, branch), TypeKind.ORDERED, regex=alt(*options))
+                )
+    for branch in range(width):
+        atomic = "string" if branch % 2 == 0 else "int"
+        types.append(TypeDef(tid(depth, branch), TypeKind.ATOMIC, atomic=atomic))
+    return Schema(types)
+
+
+def join_schema(depth: int, n_joins: int = 1, width: int = 2) -> Schema:
+    """Ordered, untagged schema for join benchmarks.
+
+    For each join slot ``j`` the root has two chains (``aj...`` and
+    ``bj...``) of the given depth, both ending at the *same* pool of
+    ``width`` referenceable leaves — so a join variable referenced through
+    both chains has ``width`` candidate types to enumerate.
+    """
+    types: List[TypeDef] = []
+    factors: List[Regex] = []
+    leaf_options = [Sym(("end", f"&L{branch}")) for branch in range(width)]
+    for join in range(n_joins):
+        for side in ("a", "b"):
+            for level in range(1, depth + 1):
+                tid = f"{side.upper()}{join}_{level}"
+                if level == depth:
+                    body: Regex = alt(*leaf_options)
+                else:
+                    body = Sym(
+                        (f"{side}{join}_{level + 1}", f"{side.upper()}{join}_{level + 1}")
+                    )
+                types.append(TypeDef(tid, TypeKind.ORDERED, regex=body))
+            factors.append(Sym((f"{side}{join}_1", f"{side.upper()}{join}_1")))
+    types.insert(0, TypeDef("ROOT", TypeKind.ORDERED, regex=concat(*factors)))
+    for branch in range(width):
+        types.append(TypeDef(f"&L{branch}", TypeKind.ATOMIC, atomic="string"))
+    return Schema(types)
+
+
+def unordered_schema(width: int) -> Schema:
+    """An unordered, untagged schema with per-label union types.
+
+    ``ROOT = {(a1 -> A1 | a1 -> B1) . ... . (aw -> Aw | aw -> Bw)}`` —
+    the rightmost column of Table 2: even join-free constant-label
+    queries stay NP-complete here.
+    """
+    factors = []
+    types: List[TypeDef] = []
+    for index in range(1, width + 1):
+        factors.append(
+            alt(Sym((f"a{index}", f"A{index}")), Sym((f"a{index}", f"B{index}")))
+        )
+        types.append(
+            TypeDef(
+                f"A{index}",
+                TypeKind.UNORDERED,
+                regex=star(Sym((f"hit{index}", "LEAF"))),
+            )
+        )
+        types.append(TypeDef(f"B{index}", TypeKind.UNORDERED, regex=EPSILON))
+    root = TypeDef("ROOT", TypeKind.UNORDERED, regex=concat(*factors))
+    types.append(TypeDef("LEAF", TypeKind.ATOMIC, atomic="string"))
+    return Schema([root] + types)
+
+
+def wide_document_schema(n_kinds: int) -> Schema:
+    """DTD⁻ schema with ``n_kinds`` alternative entry kinds under the root.
+
+    Only the first kind carries the queried payload; the rest is ballast
+    the Section 4.2 optimizer should prune without exploring.
+    """
+    options = [Sym((f"kind{k}", f"KIND{k}")) for k in range(n_kinds)]
+    types = [
+        TypeDef("ROOT", TypeKind.ORDERED, regex=star(alt(*options))),
+        TypeDef(
+            "KIND0",
+            TypeKind.ORDERED,
+            regex=concat(Sym(("payload", "PAYLOAD")), star(Sym(("note", "NOTE")))),
+        ),
+        TypeDef("PAYLOAD", TypeKind.ATOMIC, atomic="string"),
+        TypeDef("NOTE", TypeKind.ATOMIC, atomic="string"),
+    ]
+    for k in range(1, n_kinds):
+        types.append(
+            TypeDef(
+                f"KIND{k}",
+                TypeKind.ORDERED,
+                regex=star(Sym((f"junk{k}", f"JUNK{k}"))),
+            )
+        )
+        types.append(
+            TypeDef(
+                f"JUNK{k}", TypeKind.ORDERED, regex=star(Sym((f"junk{k}", f"JUNK{k}")))
+            )
+        )
+    return Schema(types)
+
+
+def random_dtd(
+    n_types: int,
+    rng: Optional[random.Random] = None,
+    max_children: int = 3,
+) -> Schema:
+    """A random DTD⁻ schema: a tagged ordered tree grammar.
+
+    Type ``Ti`` may only reference higher-numbered types (so the schema is
+    acyclic and every type inhabited); leaves are strings.
+    """
+    rng = rng or random.Random()
+    types: List[TypeDef] = []
+    for index in range(n_types):
+        later = list(range(index + 1, n_types))
+        if not later:
+            types.append(TypeDef(f"T{index}", TypeKind.ATOMIC, atomic="string"))
+            continue
+        n_children = rng.randint(1, min(max_children, len(later)))
+        children = rng.sample(later, n_children)
+        factors: List[Regex] = []
+        for child in children:
+            atom = Sym((f"l{child}", f"T{child}"))
+            shape = rng.choice(["one", "star", "opt"])
+            if shape == "star":
+                factors.append(star(atom))
+            elif shape == "opt":
+                factors.append(opt(atom))
+            else:
+                factors.append(atom)
+        types.append(TypeDef(f"T{index}", TypeKind.ORDERED, regex=concat(*factors)))
+    # Unreferenced non-root types may remain; that is fine for benchmarks.
+    return Schema(types)

@@ -1,0 +1,164 @@
+"""Unit tests for feedback queries (Section 4.1, Proposition 4.1).
+
+Reproduces the paper's worked example: for the Document schema and
+
+    Q = SELECT X3 WHERE Root = [paper.author -> X1];
+        X1 = [(_*).name.(_*) -> X2, (_*).email -> X3]; X2 = "Gray"
+
+the feedback query tightens the arms to ``name.(firstname|lastname)`` and
+``email``.
+"""
+
+import pytest
+
+from repro.apps import UnsatisfiableQueryError, feedback_query
+from repro.automata import equivalent, parse_regex_string, thompson
+from repro.query import evaluate, parse_query, query_to_string
+from repro.schema import parse_schema
+from repro.workloads.instances import random_instance
+
+DOCUMENT_SCHEMA = """
+DOCUMENT = [(paper -> PAPER)*];
+PAPER = [title -> TITLE . (author -> AUTHOR)*];
+AUTHOR = [name -> NAME . email -> EMAIL];
+NAME = [firstname -> FIRSTNAME . lastname -> LASTNAME];
+TITLE = string; FIRSTNAME = string; LASTNAME = string; EMAIL = string
+"""
+
+GRAY_QUERY = """
+SELECT X3
+WHERE Root = [paper.author -> X1];
+      X1 = [(_*).name.(_*) -> X2, (_*).email -> X3];
+      X2 = "Gray"
+"""
+
+
+def arm_regexes(query, var):
+    return [arm.path for arm in query.definition(var).arms]
+
+
+def assert_language(regex, expected_text, alphabet):
+    expected = parse_regex_string(expected_text)
+    assert equivalent(
+        thompson(regex, alphabet | frozenset(regex.symbols())),
+        thompson(expected, alphabet | frozenset(expected.symbols())),
+    ), f"{regex!r} != {expected_text}"
+
+
+class TestGrayExample:
+    def test_paper_feedback(self):
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        query = parse_query(GRAY_QUERY)
+        feedback = feedback_query(query, schema)
+        alphabet = schema.labels()
+        arm1, arm2 = arm_regexes(feedback, "X1")
+        # The paper's tightened query: X1 = [name.(firstname|lastname) -> X2,
+        # email -> X3].  (The value constraint "Gray" forces the trailing
+        # wildcard of arm 1 to take exactly one step.)
+        assert_language(arm1, "name.(firstname|lastname)", alphabet)
+        assert_language(arm2, "email", alphabet)
+
+    def test_root_arm_tightened(self):
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        query = parse_query(GRAY_QUERY)
+        feedback = feedback_query(query, schema)
+        (root_arm,) = arm_regexes(feedback, "Root")
+        assert_language(root_arm, "paper.author", schema.labels())
+
+    def test_equivalence_on_conforming_data(self):
+        import random
+
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        query = parse_query(GRAY_QUERY)
+        feedback = feedback_query(query, schema)
+        for seed in range(15):
+            graph = random_instance(schema, random.Random(seed), max_depth=8)
+            assert evaluate(query, graph) == evaluate(feedback, graph), seed
+
+    def test_languages_shrink(self):
+        from repro.automata import is_subset
+
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        query = parse_query(GRAY_QUERY)
+        feedback = feedback_query(query, schema)
+        alphabet = schema.labels()
+        for var in ("Root", "X1"):
+            for old_arm, new_arm in zip(
+                arm_regexes(query, var), arm_regexes(feedback, var)
+            ):
+                old_nfa = thompson(old_arm, alphabet | frozenset(old_arm.symbols()))
+                new_nfa = thompson(new_arm, alphabet | frozenset(new_arm.symbols()))
+                assert is_subset(new_nfa, old_nfa)
+
+
+class TestFeedbackEdgeCases:
+    def test_unsatisfiable_query_raises(self):
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        query = parse_query("SELECT X WHERE Root = [nosuchlabel -> X]")
+        with pytest.raises(UnsatisfiableQueryError):
+            feedback_query(query, schema)
+
+    def test_joins_rejected(self):
+        schema = parse_schema("T = {a -> &U . b -> &U}; &U = string")
+        query = parse_query("SELECT WHERE Root = {a -> &X, b -> &X}")
+        with pytest.raises(ValueError):
+            feedback_query(query, schema)
+
+    def test_already_tight_query_unchanged_semantically(self):
+        schema = parse_schema("T = [a -> U]; U = [b -> V]; V = int")
+        query = parse_query("SELECT X WHERE Root = [a.b -> X]")
+        feedback = feedback_query(query, schema)
+        (arm,) = arm_regexes(feedback, "Root")
+        assert_language(arm, "a.b", schema.labels())
+
+    def test_union_schema_keeps_alternatives(self):
+        schema = parse_schema(
+            "T = [a -> U | b -> U]; U = int"
+        )
+        query = parse_query("SELECT X WHERE Root = [_ -> X]")
+        feedback = feedback_query(query, schema)
+        (arm,) = arm_regexes(feedback, "Root")
+        assert_language(arm, "a|b", schema.labels())
+
+    def test_unordered_definitions_pass_through(self):
+        schema = parse_schema("T = {a -> U}; U = int")
+        query = parse_query("SELECT X WHERE Root = {(_*).a -> X}")
+        feedback = feedback_query(query, schema)
+        assert feedback.definition("Root").arms == query.definition("Root").arms
+
+    def test_select_preserved(self):
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        query = parse_query(GRAY_QUERY)
+        feedback = feedback_query(query, schema)
+        assert feedback.select == query.select
+
+
+class TestMinimality:
+    def test_idempotent(self):
+        """Property (c) proxy: tightening a tightened query changes nothing
+        (the languages are already the projections of the trace product)."""
+        from repro.automata import equivalent, thompson
+
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        once = feedback_query(parse_query(GRAY_QUERY), schema)
+        twice = feedback_query(once, schema)
+        alphabet = schema.labels()
+        for var in ("Root", "X1"):
+            for arm1, arm2 in zip(
+                arm_regexes(once, var), arm_regexes(twice, var)
+            ):
+                n1 = thompson(arm1, alphabet | frozenset(arm1.symbols()))
+                n2 = thompson(arm2, alphabet | frozenset(arm2.symbols()))
+                assert equivalent(n1, n2), var
+
+    def test_equivalence_on_enumerated_instances(self):
+        """Property (a) exhaustively on a finite-instance schema."""
+        from repro.workloads import enumerate_instances
+
+        schema = parse_schema(
+            "R = [a -> U . (b -> V)? | c -> V]; U = int; V = string"
+        )
+        query = parse_query("SELECT X WHERE Root = [(_+) -> X]")
+        tightened = feedback_query(query, schema)
+        for graph in enumerate_instances(schema, max_nodes=6):
+            assert evaluate(query, graph) == evaluate(tightened, graph)

@@ -1,0 +1,235 @@
+"""Unit tests for the adaptive optimal evaluator (Section 4.2).
+
+Includes the paper's two worked pruning examples (downwards and
+sidewards), correctness against the naive evaluator and against the
+declarative query semantics, and the cost bound of Theorem 4.2.
+"""
+
+import random
+
+import pytest
+
+from repro.data import parse_data
+from repro.query import evaluate, parse_query
+from repro.schema import conforms, parse_schema
+from repro.apps.optimize import (
+    AdaptiveEvaluator,
+    FlatPattern,
+    NaiveEvaluator,
+    TraversalGraph,
+)
+from repro.workloads.instances import enumerate_instances, random_instance
+
+
+def flat(query_text):
+    return FlatPattern.from_query(parse_query(query_text))
+
+
+class TestTraversalADT:
+    def test_cost_counting(self):
+        graph = parse_data("o1 = [a -> o2, b -> o3]; o2 = 1; o3 = 2")
+        adt = TraversalGraph(graph)
+        edge = adt.first_edge("o1")
+        assert adt.label(edge) == "a"
+        edge = adt.next_edge(edge)
+        assert adt.label(edge) == "b"
+        assert adt.next_edge(edge) is None
+        assert adt.cost == 2
+        assert adt.calls == 3
+
+    def test_rejects_unordered(self):
+        graph = parse_data("o1 = {a -> o2}; o2 = 1")
+        with pytest.raises(ValueError):
+            TraversalGraph(graph)
+
+    def test_rejects_non_tree(self):
+        graph = parse_data('o1 = [a -> &o2, b -> &o2]; &o2 = "x"')
+        with pytest.raises(ValueError):
+            TraversalGraph(graph)
+
+
+class TestNaive:
+    def test_explores_everything(self):
+        graph = parse_data(
+            "o1 = [a -> o2, b -> o3]; o2 = [c -> o4]; o3 = [d -> o5];"
+            "o4 = 1; o5 = 2"
+        )
+        result = NaiveEvaluator(flat("SELECT X WHERE Root = [a.c -> X]"), graph).run()
+        assert result.cost == graph.edge_count()
+        assert result.answers() == [("o4",)]
+
+    def test_matches_query_semantics(self):
+        graph = parse_data(
+            "o1 = [a -> o2, a -> o3, b -> o4];"
+            "o2 = [c -> o5]; o3 = [c -> o6]; o4 = 1; o5 = 2; o6 = 3"
+        )
+        pattern = flat("SELECT X, Y WHERE Root = [a -> X, (a|b) -> Y]")
+        result = NaiveEvaluator(pattern, graph).run()
+        declarative = evaluate(
+            parse_query("SELECT X, Y WHERE Root = [a -> X, (a|b) -> Y]"), graph
+        )
+        got = {tuple(answer) for answer in result.answers()}
+        want = {(b["X"], b["Y"]) for b in declarative}
+        assert got == want
+
+
+class TestDownwardsPruning:
+    """Example (1) of Section 4.2: SELECT X WHERE Root=[a.c -> X]."""
+
+    SCHEMA = parse_schema(
+        # The three possible instances DB1..DB3 as a union schema.
+        "ROOT = [a -> AC | a -> AD | b -> BD];"
+        "AC = [c -> LEAF]; AD = [d -> LEAF]; BD = [d -> LEAF];"
+        "LEAF = []"
+    )
+    QUERY = "SELECT X WHERE Root = [a.c -> X]"
+
+    def run_both(self, data_text):
+        graph = parse_data(data_text)
+        assert conforms(graph, self.SCHEMA)
+        pattern = flat(self.QUERY)
+        naive = NaiveEvaluator(pattern, graph).run()
+        adaptive = AdaptiveEvaluator(pattern, graph, self.SCHEMA).run()
+        assert adaptive.answers() == naive.answers()
+        return naive, adaptive
+
+    def test_db1_match(self):
+        naive, adaptive = self.run_both("o1 = [a -> o2]; o2 = [c -> o3]; o3 = []")
+        assert adaptive.answers() == [("o3",)]
+        assert adaptive.cost <= naive.cost
+
+    def test_db3_prunes_below_b(self):
+        # Seeing the b edge, the search stops early: the d edge below b is
+        # never explored.
+        naive, adaptive = self.run_both("o1 = [b -> o2]; o2 = [d -> o3]; o3 = []")
+        assert naive.cost == 2
+        assert adaptive.cost == 1  # only the b edge itself
+        assert adaptive.answers() == []
+
+    def test_db2_both_edges_justified(self):
+        # Under a, the extension DB1 could still have a c child, so the
+        # first edge of o2 must be read; once d is seen the arm dies.
+        # Both edges are justified, so A_O matches (and cannot beat) naive.
+        naive, adaptive = self.run_both("o1 = [a -> o2]; o2 = [d -> o3]; o3 = []")
+        assert naive.cost == 2
+        assert adaptive.cost == 2
+        assert adaptive.answers() == []
+
+
+class TestSidewardsPruning:
+    """Example (2) of Section 4.2: what we learn under a teaches us where
+    to prune under c."""
+
+    # DB1=[a->[e,b], c->h, c->d]; DB2=[a->[e,b], c->h, c->h];
+    # DB3=[a->[f,b], c->d, c->h]; DB4=[a->[f,b], c->h, c->h]
+    SCHEMA = parse_schema(
+        "ROOT = [a -> AE . c -> CH . c -> CD | a -> AE . c -> CH . c -> CH"
+        "      | a -> AF . c -> CD . c -> CH | a -> AF . c -> CH . c -> CH];"
+        "AE = [e -> LEAF . b -> LEAF]; AF = [f -> LEAF . b -> LEAF];"
+        "CH = [h -> LEAF]; CD = [d -> LEAF]; LEAF = []"
+    )
+    QUERY = "SELECT X, Y WHERE Root = [a.b -> X, c.d -> Y]"
+
+    def run_both(self, data_text):
+        graph = parse_data(data_text)
+        assert conforms(graph, self.SCHEMA)
+        pattern = flat(self.QUERY)
+        naive = NaiveEvaluator(pattern, graph).run()
+        adaptive = AdaptiveEvaluator(pattern, graph, self.SCHEMA).run()
+        assert adaptive.answers() == naive.answers()
+        return naive, adaptive
+
+    DB1 = (
+        "o1 = [a -> o2, c -> o3, c -> o4];"
+        "o2 = [e -> o5, b -> o6]; o3 = [h -> o7]; o4 = [d -> o8];"
+        "o5 = []; o6 = []; o7 = []; o8 = []"
+    )
+    DB2 = (
+        "o1 = [a -> o2, c -> o3, c -> o4];"
+        "o2 = [e -> o5, b -> o6]; o3 = [h -> o7]; o4 = [h -> o8];"
+        "o5 = []; o6 = []; o7 = []; o8 = []"
+    )
+    DB3 = (
+        "o1 = [a -> o2, c -> o3, c -> o4];"
+        "o2 = [f -> o5, b -> o6]; o3 = [d -> o7]; o4 = [h -> o8];"
+        "o5 = []; o6 = []; o7 = []; o8 = []"
+    )
+
+    def test_db1_seeing_e_prunes_first_c(self):
+        # After e, the instance is DB1 or DB2: d can only be under the
+        # second c, so the subtree of the first c is pruned.
+        naive, adaptive = self.run_both(self.DB1)
+        assert adaptive.answers() == [("o6", "o8")]
+        assert adaptive.cost < naive.cost
+
+    def test_db3_seeing_f_prunes_second_c(self):
+        # After f, the instance is DB3 or DB4: d can only be under the
+        # first c; once it is found (or not), the second c is prunable.
+        naive, adaptive = self.run_both(self.DB3)
+        assert adaptive.answers() == [("o6", "o7")]
+        assert adaptive.cost < naive.cost
+
+    def test_db2_no_answer(self):
+        naive, adaptive = self.run_both(self.DB2)
+        assert adaptive.answers() == []
+        assert adaptive.cost <= naive.cost
+
+
+class TestTheorem42:
+    """cost(A_O) <= cost(naive) on every instance, answers always equal."""
+
+    def test_document_schema_sweep(self):
+        schema = parse_schema(
+            "DOC = [(paper -> PAPER)*];"
+            "PAPER = [title -> TITLE . (author -> AUTHOR)*];"
+            "AUTHOR = [name -> NAME]; NAME = string; TITLE = string"
+        )
+        pattern = flat("SELECT T, A WHERE Root = [paper.title -> T, paper.author.name -> A]")
+        rng = random.Random(7)
+        for seed in range(25):
+            graph = random_instance(schema, random.Random(seed), max_depth=6)
+            naive = NaiveEvaluator(pattern, graph).run()
+            adaptive = AdaptiveEvaluator(pattern, graph, schema).run()
+            assert adaptive.cost <= naive.cost, seed
+            assert adaptive.answers() == naive.answers(), seed
+
+    def test_enumerated_instances(self):
+        schema = TestDownwardsPruning.SCHEMA
+        pattern = flat(TestDownwardsPruning.QUERY)
+        count = 0
+        for graph in enumerate_instances(schema, max_nodes=6):
+            naive = NaiveEvaluator(pattern, graph).run()
+            adaptive = AdaptiveEvaluator(pattern, graph, schema).run()
+            assert adaptive.cost <= naive.cost
+            assert adaptive.answers() == naive.answers()
+            count += 1
+        assert count == 3  # exactly DB1, DB2, DB3
+
+    def test_extension_property_brute_force(self):
+        """Every edge A_O explores is justified by some consistent instance.
+
+        For the finite-instance downwards-pruning schema: replay A_O's
+        exploration; after each explored edge, check some enumerable
+        instance extending the explored prefix has an answer at-or-right
+        of it.  (Here prefixes are distinguished by their first edge, so
+        consistency reduces to sharing the explored edges.)
+        """
+        schema = TestDownwardsPruning.SCHEMA
+        pattern = flat(TestDownwardsPruning.QUERY)
+        instances = list(enumerate_instances(schema, max_nodes=6))
+        with_answers = [
+            g for g in instances if NaiveEvaluator(pattern, g).run().answers()
+        ]
+        # Only DB1 ([a -> [c -> []]]) has an answer.
+        assert len(with_answers) == 1
+        for graph in instances:
+            adaptive = AdaptiveEvaluator(pattern, graph, schema).run()
+            first_label = graph.node(graph.root).edges[0].label
+            if first_label == "b":
+                # No extension of a b-prefix has answers: A_O must stop
+                # after the single b edge.
+                assert adaptive.cost == 1
+            else:
+                # An a-prefix is consistent with DB1, which has an answer
+                # below the a edge: descending is justified.
+                assert adaptive.cost >= 2

@@ -1,0 +1,191 @@
+"""Deeper Theorem 4.2 validation: replaying the extension property.
+
+For finite-instance schemas we can check the *defining* property of A_O
+directly: instrument the ADT, and for every edge A_O explored, verify
+that some conforming instance consistent with what had been seen at that
+moment places an answer at the edge's subtree or to its right.  This is
+the paper's optimality argument made executable.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.apps import AdaptiveEvaluator, FlatPattern, NaiveEvaluator
+from repro.apps.optimize import TraversalGraph
+from repro.data import DataGraph, parse_data
+from repro.query import parse_query
+from repro.schema import parse_schema
+from repro.workloads import enumerate_instances
+
+SIDE_SCHEMA = parse_schema(
+    "ROOT = [a -> AE . c -> CH . c -> CD | a -> AE . c -> CH . c -> CH"
+    "     | a -> AF . c -> CD . c -> CH | a -> AF . c -> CH . c -> CH];"
+    "AE = [e -> LEAF . b -> LEAF]; AF = [f -> LEAF . b -> LEAF];"
+    "CH = [h -> LEAF]; CD = [d -> LEAF]; LEAF = []"
+)
+SIDE_QUERY = "SELECT X, Y WHERE Root = [a.b -> X, c.d -> Y]"
+
+
+class _RecordingADT(TraversalGraph):
+    """Wraps the ADT to snapshot the seen edge set before each exploration."""
+
+    def __init__(self, graph: DataGraph):
+        super().__init__(graph)
+        self.trace: List[Tuple[frozenset, Tuple[str, int]]] = []
+        self._seen: set = set()
+
+    def first_edge(self, oid):
+        edge = super().first_edge(oid)
+        if edge is not None:
+            self.trace.append((frozenset(self._seen), (edge.oid, edge.index)))
+            self._seen.add((edge.oid, edge.index))
+        return edge
+
+    def next_edge(self, edge):
+        following = super().next_edge(edge)
+        if following is not None:
+            self.trace.append((frozenset(self._seen), (following.oid, following.index)))
+            self._seen.add((following.oid, following.index))
+        return following
+
+
+def _edge_structure(graph: DataGraph, seen: frozenset) -> Dict:
+    """The observable part of a graph given a set of seen edges: for every
+    seen edge, its label, the target's kind/value, keyed by (oid, index)
+    *positions* along the seen prefix."""
+    structure = {}
+    position_names: Dict[str, str] = {graph.root: "@root"}
+
+    def canonical(oid: str) -> str:
+        return position_names[oid]
+
+    # Breadth-first over seen edges in child order, assigning positional names.
+    pending = [graph.root]
+    while pending:
+        oid = pending.pop(0)
+        node = graph.node(oid)
+        for index, edge in enumerate(node.edges):
+            if (oid, index) not in seen:
+                continue
+            name = f"{canonical(oid)}/{index}"
+            position_names[edge.target] = name
+            target = graph.node(edge.target)
+            structure[name] = (edge.label, target.kind.value, target.value)
+            pending.append(edge.target)
+    return structure
+
+
+def _answers_at_or_right(graph: DataGraph, pattern, edge_pos) -> bool:
+    """Does the graph have an answer node at/below/right-of the edge?"""
+    result = NaiveEvaluator(pattern, graph).run()
+    answers = result.answers()
+    if not answers:
+        return False
+    oid, index = edge_pos
+    # Region = targets of (oid, i >= index) and everything below them.
+    region: set = set()
+    node = graph.node(oid)
+    for i in range(index, len(node.edges)):
+        region.update(graph.reachable_from(node.edges[i].target))
+    return any(any(component in region for component in answer) for answer in answers)
+
+
+@pytest.mark.parametrize("db_index", range(4))
+def test_extension_property_sidewards(db_index):
+    instances = list(enumerate_instances(SIDE_SCHEMA, max_nodes=10))
+    assert len(instances) == 4
+    pattern = FlatPattern.from_query(parse_query(SIDE_QUERY))
+    graph = instances[db_index]
+
+    evaluator = AdaptiveEvaluator(pattern, graph, SIDE_SCHEMA)
+    recording = _RecordingADT(graph)
+    evaluator.adt = recording
+    result = evaluator.run()
+    assert result.answers() == NaiveEvaluator(pattern, graph).run().answers()
+
+    for seen, edge_pos in recording.trace:
+        justified = False
+        observed = _edge_structure(graph, seen)
+        for candidate in instances:
+            # Consistency: the candidate must look identical on the seen part.
+            candidate_positions = _edge_structure(
+                candidate, _matching_seen(candidate, observed)
+            )
+            if candidate_positions != observed:
+                continue
+            candidate_edge = (
+                edge_pos if candidate is graph
+                else _locate(candidate, observed, graph, edge_pos)
+            )
+            if candidate_edge is None:
+                continue
+            if _answers_at_or_right(candidate, pattern, candidate_edge):
+                justified = True
+                break
+        assert justified, (db_index, edge_pos)
+
+
+def _matching_seen(candidate: DataGraph, observed: Dict) -> frozenset:
+    """Translate observed position names back into the candidate's edges."""
+    seen = set()
+    oid_of = {"@root": candidate.root}
+    for name in sorted(observed, key=lambda n: (n.count("/"), n)):
+        parent_name, _, index_text = name.rpartition("/")
+        parent_oid = oid_of.get(parent_name)
+        if parent_oid is None:
+            continue
+        index = int(index_text)
+        node = candidate.node(parent_oid)
+        if index >= len(node.edges):
+            continue
+        seen.add((parent_oid, index))
+        oid_of[name] = node.edges[index].target
+    return frozenset(seen)
+
+
+def _locate(
+    candidate: DataGraph, observed: Dict, graph: DataGraph, edge_pos
+) -> Optional[Tuple[str, int]]:
+    """Find the candidate's edge at the same structural position."""
+    oid, index = edge_pos
+    # Name the parent node via the observed positions.
+    if oid == graph.root:
+        parent_name = "@root"
+    else:
+        parent_name = _position_names(graph, observed).get(oid)
+        if parent_name is None:
+            return None
+    oid_of = {"@root": candidate.root}
+    for name in sorted(observed, key=lambda n: (n.count("/"), n)):
+        pname, _, index_text = name.rpartition("/")
+        parent = oid_of.get(pname)
+        if parent is None:
+            continue
+        i = int(index_text)
+        node = candidate.node(parent)
+        if i < len(node.edges):
+            oid_of[name] = node.edges[i].target
+    parent_oid = oid_of.get(parent_name)
+    if parent_oid is None:
+        return None
+    if index >= len(candidate.node(parent_oid).edges):
+        return None
+    return (parent_oid, index)
+
+
+def _position_names(graph: DataGraph, observed: Dict) -> Dict[str, str]:
+    names = {graph.root: "@root"}
+    for name in sorted(observed, key=lambda n: (n.count("/"), n)):
+        pname, _, index_text = name.rpartition("/")
+        parent = None
+        for oid, oid_name in list(names.items()):
+            if oid_name == pname:
+                parent = oid
+        if parent is None:
+            continue
+        index = int(index_text)
+        node = graph.node(parent)
+        if index < len(node.edges):
+            names[node.edges[index].target] = name
+    return names

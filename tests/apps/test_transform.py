@@ -1,0 +1,167 @@
+"""Unit tests for Skolem-function transformations (Section 4.3)."""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    ConstructRule,
+    SkolemTerm,
+    TransformQuery,
+    ValueOf,
+    check_transformation,
+    infer_output_schema,
+)
+from repro.data import parse_data
+from repro.query import parse_query
+from repro.schema import conforms, parse_schema
+from repro.workloads.instances import random_instance
+
+BIB_SCHEMA = parse_schema(
+    "DOC = [(paper -> PAPER)*];"
+    "PAPER = [title -> TITLE . (author -> AUTHOR)*];"
+    "AUTHOR = [name -> NAME]; NAME = string; TITLE = string"
+)
+
+BIB_DATA = parse_data(
+    'o1 = [paper -> o2, paper -> o5];'
+    'o2 = [title -> o3, author -> o4];'
+    'o3 = "T1"; o4 = [name -> o41]; o41 = "Ann";'
+    'o5 = [title -> o6, author -> o7, author -> o8];'
+    'o6 = "T2"; o7 = [name -> o71]; o71 = "Ann"; o8 = [name -> o81]; o81 = "Bob"'
+)
+
+
+def author_index_transform() -> TransformQuery:
+    """Invert the bibliography: group papers under author names."""
+    where = parse_query(
+        "SELECT WHERE Root = [paper -> P];"
+        "P = [title -> T, author.name -> N];"
+        "N = $n"
+    )
+    # Group papers by author *name* (a value variable), so two authors with
+    # the same name fuse into a single byname node — object fusion.
+    return TransformQuery(
+        where,
+        [
+            ConstructRule(SkolemTerm("result"), "entry", SkolemTerm("byname", ("$n",))),
+            ConstructRule(SkolemTerm("byname", ("$n",)), "who", ValueOf("$n")),
+            ConstructRule(SkolemTerm("byname", ("$n",)), "wrote", SkolemTerm("paper", ("P",))),
+            ConstructRule(SkolemTerm("paper", ("P",)), "title", ValueOf("T")),
+        ],
+    )
+
+
+class TestApply:
+    def test_author_grouping(self):
+        transform = author_index_transform()
+        output = transform.apply(BIB_DATA)
+        root = output.root_node
+        # Two distinct author names -> two fused byname nodes.
+        assert len(root.edges) == 2
+        by_label = {}
+        for edge in root.edges:
+            node = output.node(edge.target)
+            who_edges = [e for e in node.edges if e.label == "who"]
+            wrote_edges = [e for e in node.edges if e.label == "wrote"]
+            who = output.node(who_edges[0].target).value
+            by_label[who] = len(wrote_edges)
+        # Ann wrote two papers, Bob one: fusion collected both under Ann.
+        assert by_label == {"Ann": 2, "Bob": 1}
+
+    def test_output_is_valid_graph(self):
+        output = author_index_transform().apply(BIB_DATA)
+        assert output.root_node.is_unordered
+        assert all(node.is_referenceable for node in output)
+
+    def test_empty_input_gives_bare_root(self):
+        transform = author_index_transform()
+        empty = parse_data("o1 = []")
+        output = transform.apply(empty)
+        assert len(output) == 1
+        assert output.root_node.edges == ()
+
+    def test_duplicate_bindings_fuse(self):
+        # The same (author, paper) pair reached twice produces one edge.
+        transform = author_index_transform()
+        output = transform.apply(BIB_DATA)
+        for node in output:
+            assert len(set(node.edges)) == len(node.edges)
+
+    def test_unknown_variable_rejected(self):
+        where = parse_query("SELECT WHERE Root = [a -> X]")
+        with pytest.raises(ValueError):
+            TransformQuery(
+                where,
+                [ConstructRule(SkolemTerm("result"), "e", SkolemTerm("f", ("NOPE",)))],
+            )
+
+    def test_inconsistent_signature_rejected(self):
+        where = parse_query("SELECT WHERE Root = [a -> X, b -> Y]")
+        transform = TransformQuery(
+            where,
+            [
+                ConstructRule(SkolemTerm("result"), "e", SkolemTerm("f", ("X",))),
+                ConstructRule(SkolemTerm("f", ("Y",)), "g", ValueOf("Y")),
+            ],
+        )
+        with pytest.raises(ValueError):
+            transform.skolem_functions()
+
+
+class TestOutputSchemaInference:
+    def test_inferred_schema_is_sound(self):
+        transform = author_index_transform()
+        inferred = infer_output_schema(transform, BIB_SCHEMA)
+        output = transform.apply(BIB_DATA)
+        assert conforms(output, inferred)
+
+    def test_sound_on_random_instances(self):
+        transform = author_index_transform()
+        inferred = infer_output_schema(transform, BIB_SCHEMA)
+        for seed in range(10):
+            graph = random_instance(BIB_SCHEMA, random.Random(seed), max_depth=8)
+            output = transform.apply(graph)
+            assert conforms(output, inferred), seed
+
+    def test_multi_variable_rejected(self):
+        where = parse_query("SELECT WHERE Root = [a -> X, b -> Y]")
+        transform = TransformQuery(
+            where,
+            [ConstructRule(SkolemTerm("result"), "e", SkolemTerm("f", ("X", "Y")))],
+        )
+        simple = parse_schema("T = [a -> U . b -> V]; U = int; V = int")
+        with pytest.raises(ValueError):
+            infer_output_schema(transform, simple)
+
+    def test_types_indexed_by_argument_type(self):
+        # X ranges over an int or string leaf; f(X) gets one type per case.
+        schema = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        where = parse_query("SELECT WHERE Root = [a -> X]")
+        transform = TransformQuery(
+            where,
+            [
+                ConstructRule(SkolemTerm("result"), "item", SkolemTerm("f", ("X",))),
+                ConstructRule(SkolemTerm("f", ("X",)), "copy", ValueOf("X")),
+            ],
+        )
+        inferred = infer_output_schema(transform, schema)
+        tids = set(inferred.tids())
+        assert "&F_I" in tids
+        assert "&F_S" in tids
+
+
+class TestTypeChecking:
+    def test_accepts_loose_requirement(self):
+        transform = author_index_transform()
+        loose = parse_schema(
+            "&OUT = {(entry -> &ANY)*};"
+            "&ANY = {(who -> &LEAF | wrote -> &ANY | title -> &LEAF)*};"
+            "&LEAF = string"
+        )
+        assert check_transformation(transform, BIB_SCHEMA, loose)
+
+    def test_rejects_wrong_requirement(self):
+        transform = author_index_transform()
+        wrong = parse_schema("&OUT = {(item -> &LEAF)*}; &LEAF = string")
+        assert not check_transformation(transform, BIB_SCHEMA, wrong)

@@ -1,0 +1,144 @@
+"""Tests for the transformation textual syntax (WHERE + CONSTRUCT)."""
+
+import pytest
+
+from repro.apps import (
+    ConstructRule,
+    SkolemTerm,
+    ValueOf,
+    parse_transform,
+    transform_to_string,
+)
+
+TEXT = """
+SELECT WHERE Root = [paper -> P];
+             P = [title -> T, author.name -> N]; N = $n
+CONSTRUCT
+    result()    = { entry -> byname($n) };
+    byname($n)  = { who -> value($n), wrote -> paper(P) };
+    paper(P)    = { title -> value(T) }
+"""
+
+
+class TestParseTransform:
+    def test_structure(self):
+        transform = parse_transform(TEXT)
+        assert transform.root == SkolemTerm("result")
+        assert len(transform.rules) == 4
+        assert transform.rules[0] == ConstructRule(
+            SkolemTerm("result"), "entry", SkolemTerm("byname", ("$n",))
+        )
+        assert transform.rules[1].target == ValueOf("$n")
+
+    def test_round_trip(self):
+        transform = parse_transform(TEXT)
+        reparsed = parse_transform(transform_to_string(transform))
+        assert reparsed.rules == transform.rules
+        assert reparsed.root == transform.root
+        assert reparsed.where == transform.where
+
+    def test_label_variable_edge(self):
+        text = (
+            "SELECT WHERE Root = {$l -> X}\n"
+            "CONSTRUCT out() = { $l -> value(X) }"
+        )
+        transform = parse_transform(text)
+        assert transform.rules[0].label == "$l"
+
+    def test_missing_construct(self):
+        with pytest.raises(SyntaxError):
+            parse_transform("SELECT WHERE Root = [a -> X]")
+
+    def test_empty_construct(self):
+        with pytest.raises(SyntaxError):
+            parse_transform("SELECT WHERE Root = [a -> X]\nCONSTRUCT")
+
+    def test_value_arity(self):
+        with pytest.raises(SyntaxError):
+            parse_transform(
+                "SELECT WHERE Root = [a -> X, b -> Y]\n"
+                "CONSTRUCT out() = { e -> value(X, Y) }"
+            )
+
+    def test_non_nullary_root_rejected(self):
+        with pytest.raises(ValueError):
+            parse_transform(
+                "SELECT WHERE Root = [a -> X]\n"
+                "CONSTRUCT f(X) = { e -> value(X) }"
+            )
+
+    def test_applies_end_to_end(self):
+        from repro.data import parse_data
+
+        transform = parse_transform(TEXT)
+        data = parse_data(
+            'o1 = [paper -> o2]; o2 = [title -> o3, author -> o4];'
+            'o3 = "T"; o4 = [name -> o5]; o5 = "Ann"'
+        )
+        output = transform.apply(data)
+        assert any(edge.label == "entry" for edge in output.root_node.edges)
+
+
+class TestCliTransform:
+    def test_cli_apply(self, tmp_path, capsys):
+        from repro.cli import main
+
+        transform_file = tmp_path / "t.tq"
+        transform_file.write_text(TEXT)
+        data_file = tmp_path / "d.oem"
+        data_file.write_text(
+            'o1 = [paper -> o2]; o2 = [title -> o3, author -> o4];'
+            'o3 = "T"; o4 = [name -> o5]; o5 = "Ann"'
+        )
+        code = main(["transform", str(transform_file), "--data", str(data_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "&byname(Ann)" in out
+
+    def test_cli_infer(self, tmp_path, capsys):
+        from repro.cli import main
+
+        transform_file = tmp_path / "t.tq"
+        transform_file.write_text(TEXT)
+        schema_file = tmp_path / "s.scmdl"
+        schema_file.write_text(
+            "DOC = [(paper -> PAPER)*];"
+            "PAPER = [title -> TITLE . (author -> AUTHOR)*];"
+            "AUTHOR = [name -> NAME]; NAME = string; TITLE = string"
+        )
+        code = main(
+            ["transform", str(transform_file), "--schema", str(schema_file), "--infer"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "&BYNAME_string" in out
+
+    def test_cli_check(self, tmp_path, capsys):
+        from repro.cli import main
+
+        transform_file = tmp_path / "t.tq"
+        transform_file.write_text(TEXT)
+        schema_file = tmp_path / "s.scmdl"
+        schema_file.write_text(
+            "DOC = [(paper -> PAPER)*];"
+            "PAPER = [title -> TITLE . (author -> AUTHOR)*];"
+            "AUTHOR = [name -> NAME]; NAME = string; TITLE = string"
+        )
+        target_file = tmp_path / "target.scmdl"
+        target_file.write_text(
+            "&INDEX = {(entry -> &E)*};"
+            "&E = {(who -> &S | wrote -> &P)*};"
+            "&P = {(title -> &S)*}; &S = string"
+        )
+        code = main(
+            [
+                "transform",
+                str(transform_file),
+                "--schema",
+                str(schema_file),
+                "--target",
+                str(target_file),
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Unit tests for unordered (bag) language membership."""
+
+from repro.automata import (
+    alt,
+    bag_accepts,
+    bag_accepts_regex,
+    concat,
+    homogeneous_alternatives,
+    homogeneous_symbol,
+    opt,
+    parse_regex_string,
+    star,
+    sym,
+    thompson,
+    word,
+)
+
+ABC = frozenset("abc")
+
+
+def compiled(text):
+    return thompson(parse_regex_string(text), ABC)
+
+
+class TestBagAccepts:
+    def test_single_word_language(self):
+        nfa = compiled("a.b")
+        assert bag_accepts(nfa, "ab")
+        assert bag_accepts(nfa, "ba")  # unordered: some ordering works
+        assert not bag_accepts(nfa, "aa")
+        assert not bag_accepts(nfa, "a")
+        assert not bag_accepts(nfa, "abb")
+
+    def test_empty_bag(self):
+        assert bag_accepts(compiled("a*"), "")
+        assert not bag_accepts(compiled("a+"), "")
+
+    def test_ordering_matters_only_inside_language(self):
+        # lang = ab | ba; every 2-bag {a,b} is in ulang.
+        nfa = compiled("(a.b)|(b.a)")
+        assert bag_accepts(nfa, "ab")
+        assert bag_accepts(nfa, "ba")
+
+    def test_star_counts(self):
+        nfa = compiled("(a.b)*")
+        assert bag_accepts(nfa, "")
+        assert bag_accepts(nfa, "ab")
+        assert bag_accepts(nfa, "aabb")
+        assert not bag_accepts(nfa, "aab")
+
+    def test_multiplicity(self):
+        nfa = compiled("a.a.b")
+        assert bag_accepts(nfa, "aab")
+        assert bag_accepts(nfa, "baa")
+        assert not bag_accepts(nfa, "abb")
+
+    def test_unbalanced_interleavings(self):
+        # lang((a.b)*): equal counts, but any bag ordering is fine since we
+        # may pick the ordering; {b,a,b,a} should be accepted via abab.
+        nfa = compiled("(a.b)*")
+        assert bag_accepts(nfa, "baba")
+
+
+class TestHomogeneous:
+    def test_homogeneous_symbol(self):
+        assert homogeneous_symbol(star(sym("a"))) == "a"
+        assert homogeneous_symbol(star(word("ab"))) is None
+        assert homogeneous_symbol(sym("a")) is None
+
+    def test_homogeneous_alternatives(self):
+        assert homogeneous_alternatives(star(alt(sym("a"), sym("b")))) == {"a", "b"}
+        assert homogeneous_alternatives(star(sym("a"))) == {"a"}
+        assert homogeneous_alternatives(star(concat(sym("a"), sym("b")))) is None
+        assert homogeneous_alternatives(opt(sym("a"))) is None
+
+    def test_fast_path_agrees_with_dp(self):
+        regex = star(alt(sym("a"), sym("b")))
+        for bag in ["", "a", "ab", "aabb", "abc"]:
+            fast = bag_accepts_regex(regex, ABC, bag)
+            slow = bag_accepts(thompson(regex, ABC), bag)
+            assert fast == slow, bag
+
+
+class TestBagRegexWrapper:
+    def test_wrapper(self):
+        regex = parse_regex_string("a.(b|c)")
+        assert bag_accepts_regex(regex, ABC, "ab")
+        assert bag_accepts_regex(regex, ABC, "ca")
+        assert not bag_accepts_regex(regex, ABC, "bc")

@@ -1,0 +1,134 @@
+"""Unit tests for automata operations (products, containment, regex extraction)."""
+
+from repro.automata import (
+    EMPTY,
+    alt,
+    concat,
+    concat_nfa,
+    equivalent,
+    intersect,
+    is_subset,
+    parse_regex_string,
+    relabel,
+    star,
+    sym,
+    thompson,
+    to_regex,
+    trim,
+    union,
+    word,
+)
+
+AB = frozenset("ab")
+ABC = frozenset("abc")
+
+
+def nfa(text, alphabet=ABC):
+    return thompson(parse_regex_string(text), alphabet)
+
+
+class TestIntersect:
+    def test_basic(self):
+        left = nfa("(a|b)*.a")
+        right = nfa("a.(a|b)*")
+        product = intersect(left, right)
+        assert product.accepts("a")
+        assert product.accepts("aa")
+        assert product.accepts("aba")
+        assert not product.accepts("ab")
+        assert not product.accepts("ba")
+
+    def test_disjoint_languages(self):
+        assert intersect(nfa("a"), nfa("b")).is_empty()
+
+    def test_different_alphabets(self):
+        left = thompson(sym("a"), frozenset("a"))
+        right = thompson(alt(sym("a"), sym("z")), frozenset("az"))
+        product = intersect(left, right)
+        assert product.accepts("a")
+        assert not product.accepts("z")
+
+    def test_epsilon_in_both(self):
+        product = intersect(nfa("a*"), nfa("b*"))
+        assert product.accepts("")
+        assert not product.accepts("a")
+        assert not product.accepts("b")
+
+
+class TestUnionConcat:
+    def test_union(self):
+        u = union(nfa("a.a"), nfa("b"))
+        assert u.accepts("aa")
+        assert u.accepts("b")
+        assert not u.accepts("a")
+
+    def test_concat_nfa(self):
+        c = concat_nfa([nfa("a*"), nfa("b"), nfa("c*")])
+        assert c.accepts("b")
+        assert c.accepts("aabcc")
+        assert not c.accepts("")
+        assert not c.accepts("ac")
+
+
+class TestContainment:
+    def test_subset(self):
+        assert is_subset(nfa("a.b"), nfa("(a|b)*"))
+        assert not is_subset(nfa("(a|b)*"), nfa("a.b"))
+
+    def test_subset_different_alphabets(self):
+        small = thompson(sym("a"), frozenset("a"))
+        big = thompson(star(alt(sym("a"), sym("b"))), AB)
+        assert is_subset(small, big)
+        assert not is_subset(big, small)
+
+    def test_equivalent(self):
+        assert equivalent(nfa("(a.b)*"), nfa("eps|(a.b)+"))
+        assert equivalent(nfa("(a|b)*"), nfa("(a*.b*)*"))
+        assert not equivalent(nfa("a*"), nfa("a+"))
+
+
+class TestRelabel:
+    def test_rename(self):
+        renamed = relabel(nfa("a.b"), lambda s: s.upper())
+        assert renamed.accepts("AB")
+        assert not renamed.accepts("ab")
+
+    def test_erase(self):
+        # Erase b: a.b.a projects to a.a
+        projected = relabel(nfa("a.b.a"), lambda s: None if s == "b" else s)
+        assert projected.accepts("aa")
+        assert not projected.accepts("aba")
+
+
+class TestTrim:
+    def test_removes_dead_states(self):
+        automaton = nfa("a|b")
+        trimmed = trim(automaton)
+        assert trimmed.accepts("a")
+        assert trimmed.accepts("b")
+        assert trimmed.n_states <= automaton.n_states
+
+    def test_trim_empty(self):
+        trimmed = trim(thompson(EMPTY, AB))
+        assert trimmed.is_empty()
+
+
+class TestToRegex:
+    def round_trip(self, text, trials, alphabet=ABC):
+        original = nfa(text, alphabet)
+        extracted = to_regex(original)
+        rebuilt = thompson(extracted, alphabet)
+        for trial in trials:
+            assert rebuilt.accepts(trial) == original.accepts(trial), (text, trial)
+        assert equivalent(rebuilt, original), text
+
+    def test_round_trips(self):
+        self.round_trip("a", ["a", "b", ""])
+        self.round_trip("a.b", ["ab", "a", "ba"])
+        self.round_trip("a|b", ["a", "b", "ab"])
+        self.round_trip("a*", ["", "a", "aaa", "b"])
+        self.round_trip("(a|b)*.c", ["c", "abc", "ab", ""])
+        self.round_trip("(a.b)*|c+", ["", "ab", "abab", "c", "cc", "abc"])
+
+    def test_empty_language(self):
+        assert to_regex(thompson(EMPTY, AB)) == EMPTY

@@ -1,0 +1,96 @@
+"""Unit tests for the Table-1 regex surface syntax."""
+
+import pytest
+
+from repro.automata import (
+    ANY,
+    EPSILON,
+    alt,
+    concat,
+    opt,
+    parse_regex_string,
+    plus,
+    regex_to_string,
+    star,
+    sym,
+    thompson,
+    equivalent,
+)
+
+
+class TestParse:
+    def test_atoms(self):
+        assert parse_regex_string("a") == sym("a")
+        assert parse_regex_string("eps") == EPSILON
+        assert parse_regex_string("_") == ANY
+
+    def test_concat_and_alt(self):
+        assert parse_regex_string("a.b") == concat(sym("a"), sym("b"))
+        assert parse_regex_string("a|b") == alt(sym("a"), sym("b"))
+
+    def test_precedence(self):
+        # '.' binds tighter than '|'
+        assert parse_regex_string("a.b|c") == alt(concat(sym("a"), sym("b")), sym("c"))
+        assert parse_regex_string("a.(b|c)") == concat(sym("a"), alt(sym("b"), sym("c")))
+
+    def test_postfix(self):
+        assert parse_regex_string("a*") == star(sym("a"))
+        assert parse_regex_string("a+") == plus(sym("a"))
+        assert parse_regex_string("a?") == opt(sym("a"))
+        assert parse_regex_string("(a.b)*") == star(concat(sym("a"), sym("b")))
+        # Postfix binds to the atom, not the concatenation.
+        assert parse_regex_string("a.b*") == concat(sym("a"), star(sym("b")))
+
+    def test_paper_examples(self):
+        # From the query in Section 2: author.name.(_*)
+        regex = parse_regex_string("author.name.(_*)")
+        assert regex == concat(sym("author"), sym("name"), star(ANY))
+        # From the schema T2 example: a->T5,(c->T6)* style arrow atoms.
+        regex = parse_regex_string(
+            "(a->T5).((c->T6)*)", allow_arrow=True, allow_wildcard=False
+        )
+        assert regex == concat(sym(("a", "T5")), star(sym(("c", "T6"))))
+
+    def test_arrow_required_in_schema_mode(self):
+        with pytest.raises(SyntaxError):
+            parse_regex_string("a", allow_arrow=True)
+
+    def test_wildcard_forbidden_in_schema_mode(self):
+        with pytest.raises(SyntaxError):
+            parse_regex_string("_", allow_arrow=True, allow_wildcard=False)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SyntaxError):
+            parse_regex_string("a b")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(SyntaxError):
+            parse_regex_string("(a|b")
+
+
+class TestRoundTrip:
+    CASES = [
+        "a",
+        "a.b.c",
+        "a|b|c",
+        "(a|b).c",
+        "a.(b|c)*",
+        "((a.b)|c)*.d",
+        "_*.name",
+        "eps|a",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_print_parse_round_trip(self, text):
+        regex = parse_regex_string(text)
+        printed = regex_to_string(regex)
+        reparsed = parse_regex_string(printed)
+        alphabet = regex.symbols() | {"~other~"}
+        assert equivalent(thompson(regex, alphabet), thompson(reparsed, alphabet))
+
+    def test_arrow_round_trip(self):
+        text = "(title->TITLE).((author->AUTHOR)*)"
+        regex = parse_regex_string(text, allow_arrow=True, allow_wildcard=False)
+        printed = regex_to_string(regex)
+        reparsed = parse_regex_string(printed, allow_arrow=True, allow_wildcard=False)
+        assert reparsed == regex

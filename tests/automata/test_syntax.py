@@ -1,0 +1,143 @@
+"""Unit tests for the regex AST and smart constructors."""
+
+from repro.automata import (
+    ANY,
+    EMPTY,
+    EPSILON,
+    Alt,
+    Concat,
+    Star,
+    Sym,
+    alt,
+    concat,
+    last_symbols,
+    literal_word,
+    opt,
+    plus,
+    star,
+    sym,
+    word,
+)
+
+
+class TestSmartConstructors:
+    def test_concat_flattens(self):
+        regex = concat(sym("a"), concat(sym("b"), sym("c")))
+        assert isinstance(regex, Concat)
+        assert regex.parts == (Sym("a"), Sym("b"), Sym("c"))
+
+    def test_concat_drops_epsilon(self):
+        assert concat(sym("a"), EPSILON) == Sym("a")
+        assert concat(EPSILON, EPSILON) == EPSILON
+
+    def test_concat_absorbs_empty(self):
+        assert concat(sym("a"), EMPTY) == EMPTY
+
+    def test_alt_flattens_and_dedups(self):
+        regex = alt(sym("a"), alt(sym("b"), sym("a")))
+        assert isinstance(regex, Alt)
+        assert regex.parts == (Sym("a"), Sym("b"))
+
+    def test_alt_drops_empty(self):
+        assert alt(sym("a"), EMPTY) == Sym("a")
+        assert alt(EMPTY, EMPTY) == EMPTY
+
+    def test_star_collapses(self):
+        assert star(star(sym("a"))) == star(sym("a"))
+        assert star(EPSILON) == EPSILON
+        assert star(EMPTY) == EPSILON
+
+    def test_plus_and_opt(self):
+        assert plus(sym("a")) == concat(sym("a"), star(sym("a")))
+        assert opt(sym("a")) == alt(sym("a"), EPSILON)
+
+    def test_word(self):
+        assert word("ab") == concat(sym("a"), sym("b"))
+        assert word("") == EPSILON
+
+    def test_operator_sugar(self):
+        assert (sym("a") + sym("b")) == concat(sym("a"), sym("b"))
+        assert (sym("a") | sym("b")) == alt(sym("a"), sym("b"))
+
+
+class TestProperties:
+    def test_nullable(self):
+        assert EPSILON.nullable()
+        assert not EMPTY.nullable()
+        assert star(sym("a")).nullable()
+        assert not plus(sym("a")).nullable()
+        assert opt(sym("a")).nullable()
+        assert not concat(sym("a"), star(sym("b"))).nullable()
+        assert concat(star(sym("a")), star(sym("b"))).nullable()
+
+    def test_symbols(self):
+        regex = concat(sym("a"), alt(sym("b"), star(sym("c"))))
+        assert regex.symbols() == {"a", "b", "c"}
+
+    def test_wildcard_detection(self):
+        assert ANY.has_wildcard()
+        assert concat(sym("a"), ANY).has_wildcard()
+        assert not concat(sym("a"), sym("b")).has_wildcard()
+
+    def test_map_symbols(self):
+        regex = concat(sym("a"), alt(sym("b"), sym("c")))
+        mapped = regex.map_symbols(str.upper)
+        assert mapped == concat(sym("A"), alt(sym("B"), sym("C")))
+
+    def test_immutability(self):
+        node = Sym("a")
+        try:
+            node.symbol = "b"
+        except AttributeError:
+            pass
+        else:
+            raise AssertionError("Sym should be immutable")
+
+    def test_walk(self):
+        regex = concat(sym("a"), star(sym("b")))
+        nodes = list(regex.walk())
+        assert regex in nodes
+        assert Sym("a") in nodes
+        assert Star(Sym("b")) in nodes
+        assert Sym("b") in nodes
+
+
+class TestLiteralWord:
+    def test_single_word(self):
+        assert literal_word(word("abc")) == ("a", "b", "c")
+        assert literal_word(EPSILON) == ()
+        assert literal_word(sym("x")) == ("x",)
+
+    def test_non_literal(self):
+        assert literal_word(alt(sym("a"), sym("b"))) is None
+        assert literal_word(star(sym("a"))) is None
+        assert literal_word(ANY) is None
+        assert literal_word(concat(sym("a"), opt(sym("b")))) is None
+
+
+class TestLastSymbols:
+    def test_simple(self):
+        assert last_symbols(word("ab")) == {"b"}
+        assert last_symbols(sym("a")) == {"a"}
+
+    def test_constant_suffix(self):
+        # R.l has last-symbol set {l} — the constant-suffix restriction.
+        regex = concat(star(alt(sym("a"), sym("b"))), sym("l"))
+        assert last_symbols(regex) == {"l"}
+
+    def test_alternation(self):
+        regex = alt(word("ab"), word("cd"))
+        assert last_symbols(regex) == {"b", "d"}
+
+    def test_nullable_tail(self):
+        # a.(b?) can end with a or b.
+        regex = concat(sym("a"), opt(sym("b")))
+        assert last_symbols(regex) == {"a", "b"}
+
+    def test_nullable_language_has_no_last(self):
+        assert last_symbols(star(sym("a"))) is None
+
+    def test_wildcard_tail_unknown(self):
+        from repro.automata import ANY, concat, sym
+
+        assert last_symbols(concat(sym("a"), ANY)) is None

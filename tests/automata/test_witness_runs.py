@@ -1,0 +1,95 @@
+"""Tests for witness-extracting runs: run_with_choices and bag_run_groups.
+
+These are the engines behind conformance (Definition 2.1): ordered nodes
+need an accepting run choosing one typed symbol per child; unordered
+nodes need the same over some permutation of interchangeable groups.
+"""
+
+import pytest
+
+from repro.automata import parse_regex_string, thompson
+from repro.automata.bag import bag_run_groups
+from repro.automata.ops import run_with_choices
+
+ABC = frozenset("abc")
+
+
+def nfa(text):
+    return thompson(parse_regex_string(text), ABC)
+
+
+class TestRunWithChoices:
+    def test_unique_choice(self):
+        word = run_with_choices(nfa("a.b"), [{"a"}, {"b"}])
+        assert word == ["a", "b"]
+
+    def test_choice_resolution(self):
+        # Position 1 could be a or b, but only a.b is in the language.
+        word = run_with_choices(nfa("a.b"), [{"a", "b"}, {"a", "b"}])
+        assert word == ["a", "b"]
+
+    def test_no_run(self):
+        assert run_with_choices(nfa("a.b"), [{"b"}, {"a"}]) is None
+        assert run_with_choices(nfa("a.b"), [{"a"}]) is None
+
+    def test_empty_positions(self):
+        assert run_with_choices(nfa("a*"), []) == []
+        assert run_with_choices(nfa("a+"), []) is None
+
+    def test_star_run(self):
+        word = run_with_choices(nfa("(a|b)*"), [{"a"}, {"b"}, {"a"}])
+        assert word == ["a", "b", "a"]
+
+    def test_interdependent_positions(self):
+        # (a.a)|(b.b): both positions must agree.
+        automaton = nfa("(a.a)|(b.b)")
+        word = run_with_choices(automaton, [{"a", "b"}, {"b"}])
+        assert word == ["b", "b"]
+        assert run_with_choices(automaton, [{"a"}, {"b"}]) is None
+
+
+class TestBagRunGroups:
+    def test_single_group(self):
+        result = bag_run_groups(nfa("a.a"), [(frozenset("a"), 2)])
+        assert result == [["a", "a"]]
+
+    def test_two_groups_ordering_found(self):
+        # Language b.a but groups presented a-first: some ordering works.
+        result = bag_run_groups(
+            nfa("b.a"), [(frozenset("a"), 1), (frozenset("b"), 1)]
+        )
+        assert result == [["a"], ["b"]]
+
+    def test_choice_within_group(self):
+        # Each of 2 interchangeable positions may be a or b; lang = a.b|b.a.
+        result = bag_run_groups(nfa("(a.b)|(b.a)"), [(frozenset("ab"), 2)])
+        assert result is not None
+        assert sorted(result[0]) == ["a", "b"]
+
+    def test_no_ordering(self):
+        assert bag_run_groups(nfa("a.b"), [(frozenset("a"), 2)]) is None
+
+    def test_empty_groups(self):
+        assert bag_run_groups(nfa("a*"), []) == []
+        assert bag_run_groups(nfa("a"), []) is None
+        assert bag_run_groups(nfa("a*"), [(frozenset("a"), 0)]) == [[]]
+
+    def test_counts_respected(self):
+        result = bag_run_groups(
+            nfa("(a.a.b)|(b.a.a)"), [(frozenset("a"), 2), (frozenset("b"), 1)]
+        )
+        assert result is not None
+        assert result[0] == ["a", "a"]
+        assert result[1] == ["b"]
+
+    def test_witness_is_consistent(self):
+        # The returned symbols per group must actually admit an accepted
+        # interleaving; spot-check by re-verifying with the bag DP.
+        from repro.automata import bag_accepts
+
+        automaton = nfa("(a|b)*.c")
+        groups = [(frozenset("ab"), 3), (frozenset("c"), 1)]
+        result = bag_run_groups(automaton, groups)
+        assert result is not None
+        flattened = [symbol for group in result for symbol in group]
+        assert bag_accepts(automaton, flattened)

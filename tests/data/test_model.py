@@ -1,0 +1,144 @@
+"""Unit tests for the data-graph model and well-formedness rules."""
+
+import pytest
+
+from repro.data import DataGraph, DataGraphError, Edge, GraphBuilder, Node, NodeKind
+
+
+def paper_example() -> DataGraph:
+    """The data graph from Table 1 of the paper."""
+    return (
+        GraphBuilder()
+        .unordered("o1", [("a", "o2"), ("b", "o3")])
+        .ordered("o2", [("a", "o4"), ("c", "o5"), ("c", "o6")])
+        .atomic("o3", 3.14)
+        .atomic("o4", "abc")
+        .atomic("o5", 2.71)
+        .atomic("o6", 6.12)
+        .build()
+    )
+
+
+class TestNode:
+    def test_atomic_node(self):
+        node = Node("o1", NodeKind.ATOMIC, value="hi")
+        assert node.is_atomic
+        assert not node.is_referenceable
+        assert node.value == "hi"
+
+    def test_referenceable(self):
+        assert Node("&o1", NodeKind.ATOMIC, value=1).is_referenceable
+
+    def test_atomic_requires_value(self):
+        with pytest.raises(ValueError):
+            Node("o1", NodeKind.ATOMIC)
+
+    def test_atomic_rejects_edges(self):
+        with pytest.raises(ValueError):
+            Node("o1", NodeKind.ATOMIC, value=1, edges=[Edge("a", "o2")])
+
+    def test_collection_rejects_value(self):
+        with pytest.raises(ValueError):
+            Node("o1", NodeKind.ORDERED, value=1)
+
+    def test_labels_and_targets(self):
+        node = Node("o1", NodeKind.ORDERED, edges=[Edge("a", "o2"), Edge("b", "o3")])
+        assert node.labels() == ("a", "b")
+        assert node.targets() == ("o2", "o3")
+
+
+class TestDataGraph:
+    def test_paper_example_shape(self):
+        graph = paper_example()
+        assert graph.root == "o1"
+        assert len(graph) == 6
+        assert graph.edge_count() == 5
+        assert graph.labels() == {"a", "b", "c"}
+        assert graph.atomic_values() == {3.14, "abc", 2.71, 6.12}
+        assert graph.node("o2").is_ordered
+        assert graph.node("o1").is_unordered
+
+    def test_duplicate_oid_rejected(self):
+        with pytest.raises(DataGraphError):
+            DataGraph(
+                [
+                    Node("o1", NodeKind.ORDERED, edges=[Edge("a", "o2")]),
+                    Node("o2", NodeKind.ATOMIC, value=1),
+                    Node("o2", NodeKind.ATOMIC, value=2),
+                ]
+            )
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(DataGraphError):
+            DataGraph([Node("o1", NodeKind.ORDERED, edges=[Edge("a", "missing")])])
+
+    def test_non_referenceable_shared_rejected(self):
+        # o3 occurs twice on right-hand sides but is not referenceable.
+        with pytest.raises(DataGraphError):
+            DataGraph(
+                [
+                    Node("o1", NodeKind.ORDERED, edges=[Edge("a", "o3"), Edge("b", "o3")]),
+                    Node("o3", NodeKind.ATOMIC, value=1),
+                ]
+            )
+
+    def test_referenceable_shared_allowed(self):
+        graph = DataGraph(
+            [
+                Node("o1", NodeKind.ORDERED, edges=[Edge("a", "&o3"), Edge("b", "&o3")]),
+                Node("&o3", NodeKind.ATOMIC, value=1),
+            ]
+        )
+        assert not graph.is_tree()
+
+    def test_root_not_referenced(self):
+        with pytest.raises(DataGraphError):
+            DataGraph(
+                [
+                    Node("o1", NodeKind.ORDERED, edges=[Edge("a", "o2")]),
+                    Node("o2", NodeKind.ORDERED, edges=[Edge("b", "o1")]),
+                ]
+            )
+
+    def test_referenceable_root_cycle_allowed(self):
+        graph = DataGraph(
+            [
+                Node("&o1", NodeKind.ORDERED, edges=[Edge("a", "&o2")]),
+                Node("&o2", NodeKind.ORDERED, edges=[Edge("b", "&o1")]),
+            ]
+        )
+        assert graph.root == "&o1"
+        assert not graph.is_tree()
+
+    def test_unreachable_rejected(self):
+        with pytest.raises(DataGraphError):
+            DataGraph(
+                [
+                    Node("o1", NodeKind.ORDERED, edges=[]),
+                    Node("&o2", NodeKind.ATOMIC, value=1),
+                ]
+            )
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(DataGraphError):
+            DataGraph([])
+
+    def test_is_tree(self):
+        assert paper_example().is_tree()
+
+    def test_reachable_preorder(self):
+        graph = paper_example()
+        order = graph.reachable_from("o2")
+        assert order[0] == "o2"
+        assert set(order) == {"o2", "o4", "o5", "o6"}
+
+    def test_equality_and_hash(self):
+        assert paper_example() == paper_example()
+        assert hash(paper_example()) == hash(paper_example())
+
+    def test_validation_can_be_deferred(self):
+        graph = DataGraph(
+            [Node("o1", NodeKind.ORDERED, edges=[Edge("a", "missing")])],
+            validate=False,
+        )
+        assert "missing" not in graph

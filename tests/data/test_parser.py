@@ -1,0 +1,92 @@
+"""Unit tests for the data-graph textual syntax (Table 1)."""
+
+import pytest
+
+from repro.data import DataGraph, NodeKind, data_to_string, parse_data
+
+PAPER_EXAMPLE = """
+o1 = {a -> o2, b -> o3};
+o2 = [a -> o4, c -> o5, c -> o6];
+o3 = 3.14; o4 = "abc"; o5 = 2.71; o6 = 6.12
+"""
+
+
+class TestParseData:
+    def test_paper_example(self):
+        graph = parse_data(PAPER_EXAMPLE)
+        assert graph.root == "o1"
+        assert graph.node("o1").kind is NodeKind.UNORDERED
+        assert graph.node("o2").kind is NodeKind.ORDERED
+        assert graph.node("o3").value == 3.14
+        assert graph.node("o4").value == "abc"
+        assert graph.node("o2").labels() == ("a", "c", "c")
+
+    def test_xml_paper_fragment(self):
+        text = """
+        o1 = [paper -> o2];
+        o2 = [title -> o3, author -> o4];
+        o3 = "A real nice paper";
+        o4 = [name -> o5, email -> o6];
+        o5 = [firstname -> o7, lastname -> o8];
+        o6 = "..."; o7 = "John"; o8 = "Smith"
+        """
+        graph = parse_data(text)
+        assert graph.node("o7").value == "John"
+        assert graph.is_tree()
+
+    def test_referenceable_oids(self):
+        graph = parse_data('o1 = {a -> &o2, b -> &o2}; &o2 = "shared"')
+        assert graph.node("&o2").is_referenceable
+
+    def test_empty_collections(self):
+        graph = parse_data("o1 = [a -> o2]; o2 = {}")
+        assert graph.node("o2").edges == ()
+
+    def test_int_value(self):
+        graph = parse_data("o1 = [a -> o2]; o2 = 42")
+        assert graph.node("o2").value == 42
+        assert isinstance(graph.node("o2").value, int)
+
+    def test_trailing_semicolon(self):
+        graph = parse_data("o1 = [a -> o2]; o2 = 1;")
+        assert len(graph) == 2
+
+    def test_comments(self):
+        graph = parse_data("# comment\no1 = [a -> o2]; o2 = 1 # trailing")
+        assert len(graph) == 2
+
+    def test_string_escapes(self):
+        graph = parse_data(r'o1 = [a -> o2]; o2 = "say \"hi\"\n"')
+        assert graph.node("o2").value == 'say "hi"\n'
+
+    def test_syntax_error_reports_position(self):
+        with pytest.raises(SyntaxError) as exc:
+            parse_data("o1 = [a -> ]")
+        assert "line 1" in str(exc.value)
+
+    def test_missing_equals(self):
+        with pytest.raises(SyntaxError):
+            parse_data("o1 [a -> o2]")
+
+    def test_garbage_after_graph(self):
+        with pytest.raises(SyntaxError):
+            parse_data("o1 = 1 o2 = 2")
+
+
+class TestRoundTrip:
+    CASES = [
+        PAPER_EXAMPLE,
+        'o1 = {a -> &o2, b -> &o2}; &o2 = "x"',
+        "o1 = []",
+        'o1 = [x -> o2, x -> o3]; o2 = "a"; o3 = 0',
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        graph = parse_data(text)
+        printed = data_to_string(graph)
+        assert parse_data(printed) == graph
+
+    def test_compact_rendering(self):
+        graph = parse_data("o1 = [a -> o2]; o2 = 1")
+        assert "\n" not in data_to_string(graph, indent=False)

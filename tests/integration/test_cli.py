@@ -1,0 +1,151 @@
+"""Integration tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SCHEMA = """
+DOCUMENT = [(paper -> PAPER)*];
+PAPER = [title -> TITLE . (author -> AUTHOR)*];
+AUTHOR = [name -> NAME]; NAME = string; TITLE = string
+"""
+
+DATA = """
+o1 = [paper -> o2];
+o2 = [title -> o3, author -> o4];
+o3 = "T"; o4 = [name -> o5]; o5 = "Ann"
+"""
+
+QUERY = "SELECT X WHERE Root = [paper -> X]"
+
+
+@pytest.fixture
+def files(tmp_path):
+    schema = tmp_path / "schema.scmdl"
+    schema.write_text(SCHEMA)
+    data = tmp_path / "data.oem"
+    data.write_text(DATA)
+    query = tmp_path / "query.q"
+    query.write_text(QUERY)
+    return {"schema": str(schema), "data": str(data), "query": str(query), "dir": tmp_path}
+
+
+class TestCli:
+    def test_validate_ok(self, files, capsys):
+        code = main(["validate", "--schema", files["schema"], "--data", files["data"]])
+        assert code == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_validate_verbose(self, files, capsys):
+        main(
+            [
+                "validate",
+                "--schema",
+                files["schema"],
+                "--data",
+                files["data"],
+                "--verbose",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "o2: PAPER" in out
+
+    def test_validate_invalid(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad.oem"
+        bad.write_text('o1 = [unknown -> o2]; o2 = "x"')
+        code = main(["validate", "--schema", files["schema"], "--data", str(bad)])
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_satisfiable(self, files, capsys):
+        code = main(["satisfiable", "--schema", files["schema"], files["query"]])
+        assert code == 0
+        assert "SATISFIABLE" in capsys.readouterr().out
+
+    def test_unsatisfiable(self, files, tmp_path, capsys):
+        query = tmp_path / "bad.q"
+        query.write_text("SELECT X WHERE Root = [nothing -> X]")
+        code = main(["satisfiable", "--schema", files["schema"], str(query)])
+        assert code == 1
+
+    def test_check(self, files, capsys):
+        code = main(
+            ["check", "--schema", files["schema"], files["query"], "X=PAPER"]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+        code = main(
+            ["check", "--schema", files["schema"], files["query"], "X=NAME"]
+        )
+        assert code == 1
+
+    def test_infer(self, files, capsys):
+        code = main(["infer", "--schema", files["schema"], files["query"]])
+        assert code == 0
+        assert "X=PAPER" in capsys.readouterr().out
+
+    def test_infer_json(self, files, capsys):
+        main(["infer", "--schema", files["schema"], files["query"], "--json"])
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed == [{"X": "PAPER"}]
+
+    def test_feedback(self, files, tmp_path, capsys):
+        query = tmp_path / "sloppy.q"
+        query.write_text("SELECT X WHERE Root = [(_*).name -> X]")
+        code = main(["feedback", "--schema", files["schema"], str(query)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper.author.name" in out
+
+    def test_evaluate(self, files, capsys):
+        code = main(["evaluate", files["query"], "--data", files["data"]])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "X=o2" in out
+        assert "1 result(s)" in out
+
+    def test_classify(self, files, capsys):
+        code = main(["classify", "--schema", files["schema"], files["query"]])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ordered+tagged" in out
+        assert "PTIME" in out
+
+    def test_xml_and_dtd_path(self, tmp_path, capsys):
+        dtd = tmp_path / "doc.dtd"
+        dtd.write_text("<!ELEMENT doc (item*)><!ELEMENT item #PCDATA>")
+        xml = tmp_path / "doc.xml"
+        xml.write_text("<doc><item>one</item><item>two</item></doc>")
+        code = main(
+            ["validate", "--dtd", str(dtd), "--wrap", "--xml", str(xml)]
+        )
+        assert code == 0
+
+    def test_missing_schema_errors(self, files):
+        with pytest.raises(SystemExit):
+            main(["satisfiable", files["query"]])
+
+
+    def test_satisfiable_witness(self, files, capsys):
+        code = main(
+            ["satisfiable", "--schema", files["schema"], files["query"], "--witness"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "witness instance:" in out
+        assert "paper" in out
+
+    def test_dot_data(self, files, capsys):
+        code = main(["dot", "--data", files["data"]])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"o1" -> "o2"' in out
+
+    def test_dot_schema(self, files, capsys):
+        code = main(["dot", "--schema", files["schema"]])
+        assert code == 0
+        assert '"DOCUMENT" -> "PAPER"' in capsys.readouterr().out
+

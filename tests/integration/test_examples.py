@@ -1,0 +1,31 @@
+"""Smoke tests: every shipped example runs and prints what it promises."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["data conforms?  True", "PTIME"],
+    "xml_bibliography.py": ["A real nice paper", "PAPER"],
+    "query_feedback.py": ["feedback query", "lastname", "email -> X3"],
+    "optimizer_demo.py": ["Downwards pruning", "Sidewards pruning"],
+    "transform_pipeline.py": ["inferred output schema", "True"],
+    "np_reduction.py": ["checker: SAT", "witness conforms? True"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    output = capsys.readouterr().out
+    for snippet in EXPECTED_SNIPPETS[script]:
+        assert snippet in output, (script, snippet)
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXPECTED_SNIPPETS)

@@ -1,0 +1,154 @@
+"""Structural round-trip fuzzing: random graphs/schemas/queries survive
+print → parse → print, and the JSON bridge is lossless."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    DataGraph,
+    Edge,
+    Node,
+    NodeKind,
+    data_to_string,
+    from_json,
+    parse_data,
+    to_json,
+)
+from repro.query import parse_query, query_to_string
+from repro.schema import Schema, TypeDef, TypeKind, parse_schema, schema_to_string
+
+LABELS = st.sampled_from(["a", "b", "cc", "label_1", "X9"])
+VALUES = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-100, max_value=100, allow_nan=False).map(
+        lambda f: round(f, 3)
+    ),
+    st.text(alphabet=string.ascii_letters + ' "\\\n\t', max_size=12),
+)
+
+
+@st.composite
+def tree_graphs(draw) -> DataGraph:
+    """Random tree-shaped data graphs."""
+    n_nodes = draw(st.integers(min_value=1, max_value=8))
+    nodes = []
+    for index in range(n_nodes - 1, -1, -1):
+        oid = f"o{index}"
+        # Children may only be higher-numbered nodes without other parents.
+        available = [
+            f"o{k}" for k in range(index + 1, n_nodes) if f"o{k}" in _unclaimed
+        ]
+        make_atomic = draw(st.booleans()) or not available
+        if make_atomic and index != 0:
+            nodes.append(Node(oid, NodeKind.ATOMIC, value=draw(VALUES)))
+        else:
+            count = draw(st.integers(min_value=0, max_value=len(available)))
+            chosen = available[:count]
+            for child in chosen:
+                _unclaimed.discard(child)
+            kind = NodeKind.ORDERED if draw(st.booleans()) else NodeKind.UNORDERED
+            edges = [Edge(draw(LABELS), child) for child in chosen]
+            nodes.append(Node(oid, kind, edges=edges))
+    nodes.reverse()
+    kept = {"o0"}
+    # Drop unreachable leftovers.
+    graph = DataGraph(nodes, validate=False)
+    reachable = set(graph.reachable_from("o0"))
+    return DataGraph([n for n in nodes if n.oid in reachable])
+
+
+# Mutable helper used inside the composite strategy (reset per example).
+_unclaimed: set = set()
+
+
+@st.composite
+def safe_tree_graphs(draw) -> DataGraph:
+    global _unclaimed
+    _unclaimed = {f"o{k}" for k in range(1, 9)}
+    return draw(tree_graphs())
+
+
+class TestDataRoundTrips:
+    @given(safe_tree_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_text_round_trip(self, graph):
+        assert parse_data(data_to_string(graph)) == graph
+
+    @given(safe_tree_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_json_round_trip(self, graph):
+        assert from_json(to_json(graph)) == graph
+
+
+@st.composite
+def schemas(draw) -> Schema:
+    """Random acyclic schemas (type i references only types > i)."""
+    n_types = draw(st.integers(min_value=1, max_value=6))
+    types = []
+    for index in range(n_types):
+        tid = f"T{index}"
+        later = [f"T{k}" for k in range(index + 1, n_types)]
+        if not later or draw(st.integers(min_value=0, max_value=3)) == 0:
+            atomic = draw(st.sampled_from(["string", "int", "float"]))
+            types.append(TypeDef(tid, TypeKind.ATOMIC, atomic=atomic))
+            continue
+        from repro.automata import EPSILON, Sym, alt, concat, opt, star
+
+        atoms = [
+            Sym((draw(LABELS), draw(st.sampled_from(later))))
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        ]
+        shape = draw(st.sampled_from(["concat", "alt", "star", "opt"]))
+        if shape == "concat":
+            regex = concat(*atoms)
+        elif shape == "alt":
+            regex = alt(*atoms)
+        elif shape == "star":
+            regex = star(alt(*atoms))
+        else:
+            regex = opt(concat(*atoms))
+        kind = TypeKind.ORDERED if draw(st.booleans()) else TypeKind.UNORDERED
+        types.append(TypeDef(tid, kind, regex=regex))
+    return Schema(types)
+
+
+class TestSchemaRoundTrips:
+    @given(schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_text_round_trip(self, schema):
+        assert parse_schema(schema_to_string(schema)) == schema
+
+
+@st.composite
+def queries(draw):
+    """Random small join-free queries."""
+    from repro.automata import ANY, Sym, concat, plus, star
+    from repro.query import PatternArm, PatternDef, PatternKind, Query
+
+    n_arms = draw(st.integers(min_value=1, max_value=3))
+    arms = []
+    for index in range(n_arms):
+        pieces = []
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            choice = draw(st.integers(min_value=0, max_value=3))
+            if choice == 0:
+                pieces.append(ANY)
+            elif choice == 1:
+                pieces.append(plus(Sym(draw(LABELS))))
+            else:
+                pieces.append(Sym(draw(LABELS)))
+        arms.append(PatternArm(concat(*pieces), f"X{index}"))
+    kind = PatternKind.ORDERED if draw(st.booleans()) else PatternKind.UNORDERED
+    patterns = [PatternDef("Root", kind, arms=arms)]
+    if draw(st.booleans()):
+        patterns.append(PatternDef("X0", PatternKind.VALUE, value=draw(VALUES)))
+    select = [f"X{index}" for index in range(n_arms) if draw(st.booleans())]
+    return Query(select, patterns)
+
+
+class TestQueryRoundTrips:
+    @given(queries())
+    @settings(max_examples=60, deadline=None)
+    def test_text_round_trip(self, query):
+        assert parse_query(query_to_string(query)) == query

@@ -1,0 +1,123 @@
+"""Property tests for schema subsumption and transformation inference.
+
+* Soundness of ``subsumes``: whenever ``S1 ⊑ S2`` is reported, every
+  sampled instance of ``S1`` conforms to ``S2``.
+* Soundness of output-schema inference: transformation outputs conform to
+  the inferred schema on random inputs.
+* Non-minimality is possible (the paper's Section 4.3 negative result
+  bounds what any implementation can promise): we exhibit a transformation
+  whose inferred schema is strictly looser than another sound schema.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import ConstructRule, SkolemTerm, TransformQuery, infer_output_schema
+from repro.query import parse_query
+from repro.schema import conforms, parse_schema, subsumes
+from repro.workloads import random_dtd, random_instance
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+class TestSubsumptionSoundness:
+    @given(SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_reflexive_on_random_schemas(self, seed):
+        schema = random_dtd(5, random.Random(seed))
+        assert subsumes(schema, schema)
+
+    @given(SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_instances_conform_when_subsumed(self, seed):
+        rng = random.Random(seed)
+        schema = random_dtd(5, rng)
+        # A hand-loosened variant: star every content model's symbols.
+        loose = _loosen(schema)
+        assert subsumes(schema, loose)
+        graph = random_instance(schema, rng, max_depth=8)
+        assert conforms(graph, loose)
+
+    @given(SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_negative_verdicts_have_counterexamples_sometimes(self, seed):
+        # Not a completeness proof — just check the checker is not
+        # trivially permissive: a schema over disjoint labels is never
+        # subsumed by random DTDs rooted elsewhere.
+        other = parse_schema("Z = [(zz -> ZLEAF)*]; ZLEAF = string")
+        schema = random_dtd(4, random.Random(seed))
+        if schema.labels() and "zz" not in schema.labels():
+            root_def = schema.root_type
+            if not root_def.is_atomic and root_def.symbols():
+                assert not subsumes(schema, other)
+
+
+def _loosen(schema):
+    from repro.automata import Sym, alt, star
+    from repro.schema import Schema, TypeDef, TypeKind
+
+    types = []
+    for type_def in schema:
+        if type_def.is_atomic:
+            types.append(type_def)
+            continue
+        symbols = sorted(type_def.symbols())
+        if symbols:
+            regex = star(alt(*(Sym(s) for s in symbols)))
+        else:
+            from repro.automata import EPSILON
+
+            regex = EPSILON
+        types.append(TypeDef(type_def.tid, type_def.kind, regex=regex))
+    return Schema(types)
+
+
+class TestTransformInferenceSoundness:
+    @given(SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_outputs_conform_to_inferred(self, seed):
+        schema = parse_schema(
+            "DOC = [(item -> ITEM)*]; ITEM = [tag -> TAG]; TAG = string"
+        )
+        where = parse_query("SELECT WHERE Root = [item -> X]")
+        transform = TransformQuery(
+            where,
+            [
+                ConstructRule(SkolemTerm("result"), "copy", SkolemTerm("f", ("X",))),
+            ],
+        )
+        inferred = infer_output_schema(transform, schema)
+        graph = random_instance(schema, random.Random(seed), max_depth=6)
+        output = transform.apply(graph)
+        assert conforms(output, inferred)
+
+    def test_inferred_schema_may_be_non_minimal(self):
+        """The Section 4.3 caveat made concrete: our sound inferred schema
+        can be strictly looser than another sound schema.
+
+        The transformation emits exactly one ``copy`` edge per distinct
+        input item; with inputs capped at one item, a tighter schema with
+        at most one edge is also sound — and strictly subsumed by ours.
+        """
+        schema = parse_schema(
+            "DOC = [(item -> ITEM)?]; ITEM = [tag -> TAG]; TAG = string"
+        )
+        where = parse_query("SELECT WHERE Root = [item -> X]")
+        transform = TransformQuery(
+            where,
+            [ConstructRule(SkolemTerm("result"), "copy", SkolemTerm("f", ("X",)))],
+        )
+        inferred = infer_output_schema(transform, schema)
+        # Handwritten tighter schema: at most one copy edge.
+        f_tid = next(t for t in inferred.tids() if t.startswith("&F"))
+        tighter = parse_schema(
+            f"&R = {{(copy -> {f_tid})?}}; {f_tid} = {{}}"
+        )
+        assert subsumes(tighter, inferred)
+        assert not subsumes(inferred, tighter)
+        # Both describe all outputs of this transformation.
+        graph = random_instance(schema, random.Random(1), max_depth=4)
+        output = transform.apply(graph)
+        assert conforms(output, inferred)
+        assert conforms(output, tighter)

@@ -1,0 +1,135 @@
+"""Property-based tests across the full stack.
+
+Cross-validates the main engines against independent oracles:
+
+* conformance: generated instances conform; assignments verify; mutation
+  breaks tagged conformance in the expected way;
+* satisfiability soundness: a query that matches a sampled conforming
+  instance must be declared satisfiable;
+* traces: the flat trace-intersection oracle agrees with the general
+  checker on random flat patterns;
+* evaluation/typing agreement: inferred types contain the types realized
+  by actual bindings on actual instances;
+* optimizer: A_O never explores more than naive and returns identical
+  answers on random documents.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import AdaptiveEvaluator, FlatPattern, NaiveEvaluator
+from repro.query import evaluate, iterate_bindings, parse_query, satisfies
+from repro.schema import conforms, find_type_assignment, verify_assignment
+from repro.typing import flat_satisfiable, inferred_types_of, is_satisfiable
+from repro.workloads import (
+    document_schema,
+    random_dtd,
+    random_instance,
+    random_join_free_query,
+)
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+class TestConformanceProperties:
+    @given(SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_random_instances_conform(self, seed):
+        rng = random.Random(seed)
+        schema = random_dtd(5, rng)
+        graph = random_instance(schema, rng, max_depth=8)
+        assignment = find_type_assignment(graph, schema)
+        assert assignment is not None
+        assert verify_assignment(graph, schema, assignment)
+
+    @given(SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_document_instances_conform(self, seed):
+        schema = document_schema(2)
+        graph = random_instance(schema, random.Random(seed), max_depth=8)
+        assert conforms(graph, schema)
+
+
+class TestSatisfiabilitySoundness:
+    @given(SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_match_implies_satisfiable(self, seed):
+        """If a query matches some conforming instance, the checker must
+        say satisfiable (completeness direction, witness-driven)."""
+        rng = random.Random(seed)
+        schema = document_schema(2)
+        query = random_join_free_query(sorted(schema.labels()), 2, rng)
+        graph = random_instance(schema, rng, max_depth=8, star_bias=0.6)
+        if satisfies(query, graph):
+            assert is_satisfiable(query, schema)
+
+    @given(SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_unsatisfiable_never_matches(self, seed):
+        """If the checker says unsatisfiable, no sampled instance matches
+        (soundness direction, spot-checked)."""
+        rng = random.Random(seed)
+        schema = document_schema(2)
+        query = random_join_free_query(sorted(schema.labels()), 2, rng)
+        if not is_satisfiable(query, schema):
+            for attempt in range(5):
+                graph = random_instance(schema, random.Random(seed + attempt))
+                assert not satisfies(query, graph)
+
+
+class TestTracesAgreement:
+    @given(SEEDS, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_flat_oracle_agrees(self, seed, n_arms):
+        """Trace-intersection satisfiability == general checker on flat
+        ordered patterns (two independent implementations)."""
+        from repro.query import PatternDef, PatternKind, Query
+
+        rng = random.Random(seed)
+        schema = document_schema(2)
+        query = random_join_free_query(sorted(schema.labels()), n_arms, rng)
+        pattern = query.patterns[0]
+        tids = list(schema.tids())
+        flat = flat_satisfiable(
+            schema,
+            [schema.root],
+            [arm.path for arm in pattern.arms],
+            [tids] * len(pattern.arms),
+        )
+        general = is_satisfiable(query, schema)
+        assert flat == general
+
+
+class TestInferenceAgreement:
+    @given(SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_realized_types_are_inferred(self, seed):
+        """Types realized by actual bindings appear among inferred types."""
+        rng = random.Random(seed)
+        schema = document_schema(2)
+        query = parse_query("SELECT X WHERE Root = [paper.(_*) -> X]")
+        graph = random_instance(schema, rng, max_depth=8, star_bias=0.6)
+        assignment = find_type_assignment(graph, schema)
+        assert assignment is not None
+        inferred = set(inferred_types_of(query, schema, "X"))
+        for binding in iterate_bindings(query, graph):
+            assert assignment[binding["X"]] in inferred
+
+
+class TestOptimizerProperties:
+    @given(SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_adaptive_never_worse(self, seed):
+        schema = document_schema(2)
+        pattern = FlatPattern.from_query(
+            parse_query(
+                "SELECT T, N WHERE Root = "
+                "[paper.title -> T, paper.author.name.(_*) -> N]"
+            )
+        )
+        graph = random_instance(schema, random.Random(seed), max_depth=8)
+        naive = NaiveEvaluator(pattern, graph).run()
+        adaptive = AdaptiveEvaluator(pattern, graph, schema).run()
+        assert adaptive.cost <= naive.cost
+        assert adaptive.answers() == naive.answers()

@@ -1,0 +1,61 @@
+"""Property tests for witness construction and conformance candidates.
+
+* Witness contract on random DTDs × random join-free queries: the verdict
+  of `find_witness` matches `is_satisfiable`, and produced witnesses
+  conform and match.
+* Candidate-set soundness: every type the arc-consistent refinement keeps
+  for a node can actually type it in a full assignment on tree data.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query import satisfies
+from repro.schema import candidate_types, conforms, find_type_assignment
+from repro.typing import is_satisfiable
+from repro.typing.witness import find_witness
+from repro.workloads import random_dtd, random_instance, random_join_free_query
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+class TestWitnessContract:
+    @given(SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_witness_iff_satisfiable(self, seed):
+        rng = random.Random(seed)
+        schema = random_dtd(5, rng)
+        labels = sorted(schema.labels()) or ["x"]
+        query = random_join_free_query(labels, 2, rng)
+        witness = find_witness(query, schema)
+        verdict = is_satisfiable(query, schema)
+        assert (witness is not None) == verdict
+        if witness is not None:
+            assert conforms(witness, schema)
+            assert satisfies(query, witness)
+
+
+class TestCandidateSoundness:
+    @given(SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_assignment_within_candidates(self, seed):
+        rng = random.Random(seed)
+        schema = random_dtd(5, rng)
+        graph = random_instance(schema, rng, max_depth=7)
+        domains = candidate_types(graph, schema)
+        assignment = find_type_assignment(graph, schema)
+        assert assignment is not None
+        for oid, tid in assignment.items():
+            assert tid in domains[oid], oid
+
+    @given(SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_candidates_realizable_on_trees(self, seed):
+        """On tree data every surviving root candidate is realizable: here
+        the root is pinned, so its domain is either empty or {root}."""
+        rng = random.Random(seed)
+        schema = random_dtd(4, rng)
+        graph = random_instance(schema, rng, max_depth=6)
+        domains = candidate_types(graph, schema)
+        assert domains[graph.root] == frozenset([schema.root])

@@ -1,0 +1,189 @@
+"""Unit tests for query evaluation (Definitions 2.2-2.3)."""
+
+import pytest
+
+from repro.data import from_xml, parse_data
+from repro.query import evaluate, parse_query, satisfies
+
+BIB_XML = """
+<bib>
+  <paper><title>Semistructured</title>
+    <author><name><firstname>Serge</firstname><lastname>Abiteboul</lastname></name>
+      <email>sa@x</email></author>
+  </paper>
+  <paper><title>Queries</title>
+    <author><name><firstname>Victor</firstname><lastname>Vianu</lastname></name>
+      <email>vv@x</email></author>
+    <author><name><firstname>Serge</firstname><lastname>Abiteboul</lastname></name>
+      <email>sa@x</email></author>
+  </paper>
+</bib>
+"""
+
+
+@pytest.fixture
+def bib():
+    return from_xml(BIB_XML)
+
+
+class TestBasicMatching:
+    def test_single_edge(self):
+        graph = parse_data('o1 = [a -> o2]; o2 = "x"')
+        query = parse_query("SELECT X WHERE Root = [a -> X]")
+        assert evaluate(query, graph) == [{"X": "o2"}]
+
+    def test_no_match(self):
+        graph = parse_data('o1 = [a -> o2]; o2 = "x"')
+        query = parse_query("SELECT X WHERE Root = [b -> X]")
+        assert evaluate(query, graph) == []
+
+    def test_regex_path(self):
+        graph = parse_data(
+            'o1 = [a -> o2]; o2 = [b -> o3]; o3 = [c -> o4]; o4 = "deep"'
+        )
+        query = parse_query("SELECT X WHERE Root = [a.b.c -> X]")
+        assert evaluate(query, graph) == [{"X": "o4"}]
+
+    def test_wildcard_star(self):
+        graph = parse_data(
+            'o1 = [a -> o2]; o2 = [b -> o3]; o3 = [c -> o4]; o4 = "deep"'
+        )
+        query = parse_query("SELECT X WHERE Root = [(_*).c -> X]")
+        assert evaluate(query, graph) == [{"X": "o4"}]
+
+    def test_alternation_path(self):
+        graph = parse_data('o1 = [a -> o2, b -> o3]; o2 = 1; o3 = 2')
+        query = parse_query("SELECT X WHERE Root = [(a|b) -> X]")
+        results = evaluate(query, graph)
+        assert {tuple(r.items()) for r in results} == {(("X", "o2"),), (("X", "o3"),)}
+
+    def test_value_constant(self):
+        graph = parse_data('o1 = [a -> o2, a -> o3]; o2 = "yes"; o3 = "no"')
+        query = parse_query('SELECT X WHERE Root = [a -> X]; X = "yes"')
+        assert evaluate(query, graph) == [{"X": "o2"}]
+
+    def test_value_variable(self):
+        graph = parse_data("o1 = [a -> o2]; o2 = 42")
+        query = parse_query("SELECT $v WHERE Root = [a -> X]; X = $v")
+        assert evaluate(query, graph) == [{"$v": 42}]
+
+    def test_boolean_query(self):
+        graph = parse_data('o1 = [a -> o2]; o2 = "x"')
+        assert satisfies(parse_query("SELECT WHERE Root = [a -> X]"), graph)
+        assert not satisfies(parse_query("SELECT WHERE Root = [b -> X]"), graph)
+
+
+class TestOrderSemantics:
+    def test_ordered_pattern_needs_order(self):
+        graph = parse_data("o1 = [a -> o2, b -> o3]; o2 = 1; o3 = 2")
+        assert satisfies(parse_query("SELECT WHERE Root = [a -> X, b -> Y]"), graph)
+        # b before a is not satisfied at an ordered node with edges a,b.
+        assert not satisfies(parse_query("SELECT WHERE Root = [b -> Y, a -> X]"), graph)
+
+    def test_ordered_first_edges_disjoint(self):
+        # Only one 'a' edge: two ordered a-paths cannot share it.
+        graph = parse_data("o1 = [a -> o2]; o2 = 1")
+        assert not satisfies(parse_query("SELECT WHERE Root = [a -> X, a -> Y]"), graph)
+        two = parse_data("o1 = [a -> o2, a -> o3]; o2 = 1; o3 = 2")
+        assert satisfies(parse_query("SELECT WHERE Root = [a -> X, a -> Y]"), two)
+
+    def test_unordered_paths_may_overlap(self):
+        # Set semantics: both arms can take the same first edge.
+        graph = parse_data("o1 = {a -> o2}; o2 = 1")
+        query = parse_query("SELECT X, Y WHERE Root = {a -> X, a -> Y}")
+        assert evaluate(query, graph) == [{"X": "o2", "Y": "o2"}]
+
+    def test_unordered_any_order(self):
+        graph = parse_data("o1 = {b -> o3, a -> o2}; o2 = 1; o3 = 2")
+        assert satisfies(parse_query("SELECT WHERE Root = {a -> X, b -> Y}"), graph)
+
+    def test_kind_mismatch(self):
+        ordered = parse_data("o1 = [a -> o2]; o2 = 1")
+        unordered = parse_data("o1 = {a -> o2}; o2 = 1")
+        ordered_pattern = parse_query("SELECT WHERE Root = [a -> X]")
+        unordered_pattern = parse_query("SELECT WHERE Root = {a -> X}")
+        assert satisfies(ordered_pattern, ordered)
+        assert not satisfies(ordered_pattern, unordered)
+        assert satisfies(unordered_pattern, unordered)
+        assert not satisfies(unordered_pattern, ordered)
+
+
+class TestPaperQuery:
+    def test_vianu_first_author(self, bib):
+        # Papers with Vianu before Abiteboul among the authors.
+        query = parse_query(
+            'SELECT X1 WHERE Root = [bib.paper -> X1];'
+            'X1 = [author.name.(_*) -> X2, author.name.(_*) -> X3];'
+            'X2 = "Vianu"; X3 = "Abiteboul"'
+        )
+        results = evaluate(query, bib)
+        assert len(results) == 1
+        (binding,) = results
+        # The second paper is the only one with Vianu first.
+        title_query = parse_query("SELECT T WHERE Root = [bib.paper.title -> T]")
+        assert satisfies(parse_query("SELECT WHERE Root = [bib -> B]"), bib)
+
+    def test_vianu_query_rejects_wrong_order(self, bib):
+        query = parse_query(
+            'SELECT X1 WHERE Root = [bib.paper -> X1];'
+            'X1 = [author.name.(_*) -> X2, author.name.(_*) -> X3];'
+            'X2 = "Abiteboul"; X3 = "Vianu"'
+        )
+        # Abiteboul-then-Vianu order exists in no paper.
+        assert evaluate(query, bib) == []
+
+
+class TestLabelVariables:
+    def test_label_binding(self):
+        graph = parse_data("o1 = {x -> o2}; o2 = 1")
+        query = parse_query("SELECT $l WHERE Root = {$l -> X}")
+        assert evaluate(query, graph) == [{"$l": "x"}]
+
+    def test_label_join(self):
+        graph = parse_data("o1 = {a -> o2, a -> o3, b -> o4}; o2 = 1; o3 = 2; o4 = 3")
+        query = parse_query("SELECT $l WHERE Root = {$l -> X, $l -> Y}")
+        results = evaluate(query, graph)
+        labels = {r["$l"] for r in results}
+        # 'a' joins via two edges (or overlapping); 'b' only via overlap.
+        assert labels == {"a", "b"}
+
+    def test_value_join(self):
+        graph = parse_data(
+            'o1 = [a -> o2, b -> o3, c -> o4]; o2 = "v"; o3 = "v"; o4 = "w"'
+        )
+        query = parse_query(
+            "SELECT X, Y WHERE Root = [a -> X, (b|c) -> Y]; X = $v; Y = $v"
+        )
+        assert evaluate(query, graph) == [{"X": "o2", "Y": "o3"}]
+
+
+class TestReferenceableVars:
+    def test_referenceable_var_needs_referenceable_node(self):
+        shared = parse_data('o1 = {a -> &o2, b -> &o2}; &o2 = "x"')
+        plain = parse_data('o1 = {a -> o2, b -> o3}; o2 = "x"; o3 = "x"')
+        query = parse_query("SELECT WHERE Root = {a -> &X, b -> &X}")
+        assert satisfies(query, shared)
+        assert not satisfies(query, plain)
+
+    def test_node_join_through_referenceable(self):
+        graph = parse_data('o1 = {a -> &o2, b -> &o3}; &o2 = "x"; &o3 = "x"')
+        query = parse_query("SELECT WHERE Root = {a -> &X, b -> &X}")
+        # a and b reach different nodes: the join fails despite equal values.
+        assert not satisfies(query, graph)
+
+
+class TestCyclicData:
+    def test_star_terminates_on_cycles(self):
+        graph = parse_data('&o1 = [next -> &o2]; &o2 = [next -> &o1, stop -> o3]; o3 = "s"')
+        query = parse_query("SELECT X WHERE Root = [(_*).stop -> X]")
+        assert evaluate(query, graph) == [{"X": "o3"}]
+
+
+class TestLimits:
+    def test_limit(self):
+        graph = parse_data(
+            "o1 = [a -> o2, a -> o3, a -> o4]; o2 = 1; o3 = 2; o4 = 3"
+        )
+        query = parse_query("SELECT X WHERE Root = [a -> X]")
+        assert len(evaluate(query, graph, limit=2)) == 2
+        assert len(evaluate(query, graph)) == 3

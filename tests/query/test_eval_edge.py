@@ -1,0 +1,96 @@
+"""Edge-case tests for query evaluation."""
+
+import pytest
+
+from repro.data import parse_data
+from repro.query import evaluate, iterate_bindings, parse_query, satisfies
+
+
+class TestBindingEnumeration:
+    def test_projection_deduplicates(self):
+        # Two witness paths to the same X: one projected binding.
+        graph = parse_data(
+            '&o1 = [a -> o2, a -> o3]; o2 = [c -> &o4]; o3 = [c -> &o4]; &o4 = "v"'
+        )
+        query = parse_query("SELECT X WHERE Root = [a.c -> X]")
+        assert evaluate(query, graph) == [{"X": "&o4"}]
+
+    def test_full_bindings_expose_witnesses(self):
+        graph = parse_data(
+            'o1 = [a -> o2, a -> o3]; o2 = "v"; o3 = "v"'
+        )
+        query = parse_query("SELECT WHERE Root = [a -> X]")
+        bindings = list(iterate_bindings(query, graph))
+        assert {b["X"] for b in bindings} == {"o2", "o3"}
+
+    def test_three_arms_ordering(self):
+        graph = parse_data(
+            "o1 = [a -> o2, a -> o3, a -> o4]; o2 = 1; o3 = 2; o4 = 3"
+        )
+        query = parse_query("SELECT X, Y, Z WHERE Root = [a -> X, a -> Y, a -> Z]")
+        results = evaluate(query, graph)
+        assert results == [{"X": "o2", "Y": "o3", "Z": "o4"}]
+
+    def test_arms_skip_fillers(self):
+        graph = parse_data("o1 = [x -> o2, a -> o3, y -> o4]; o2 = 1; o3 = 2; o4 = 3")
+        query = parse_query("SELECT A WHERE Root = [a -> A]")
+        assert evaluate(query, graph) == [{"A": "o3"}]
+
+    def test_nested_definition_binding(self):
+        graph = parse_data(
+            'o1 = [p -> o2]; o2 = [t -> o3, u -> o4]; o3 = "T"; o4 = "U"'
+        )
+        query = parse_query(
+            "SELECT T, U WHERE Root = [p -> P]; P = [t -> T, u -> U]"
+        )
+        assert evaluate(query, graph) == [{"T": "o3", "U": "o4"}]
+
+    def test_value_variable_multiple_values(self):
+        graph = parse_data('o1 = [a -> o2, a -> o3]; o2 = "x"; o3 = "y"')
+        query = parse_query("SELECT $v WHERE Root = [a -> X]; X = $v")
+        values = {b["$v"] for b in evaluate(query, graph)}
+        assert values == {"x", "y"}
+
+
+class TestAtomicTargets:
+    def test_paths_cannot_cross_atomic_nodes(self):
+        graph = parse_data('o1 = [a -> o2]; o2 = "leaf"')
+        assert not satisfies(parse_query("SELECT WHERE Root = [a.b -> X]"), graph)
+
+    def test_pattern_on_atomic_node_kind(self):
+        graph = parse_data('o1 = [a -> o2]; o2 = "leaf"')
+        assert not satisfies(parse_query("SELECT WHERE Root = [a -> X]; X = [b -> Y]"), graph)
+        assert satisfies(parse_query('SELECT WHERE Root = [a -> X]; X = "leaf"'), graph)
+
+
+class TestSharedStructure:
+    def test_dag_multiple_paths(self):
+        graph = parse_data(
+            'o1 = [l -> o2, r -> o3]; o2 = [c -> &o4]; o3 = [c -> &o4]; &o4 = "shared"'
+        )
+        query = parse_query("SELECT X, Y WHERE Root = [l.c -> X, r.c -> Y]")
+        assert evaluate(query, graph) == [{"X": "&o4", "Y": "&o4"}]
+
+    def test_cycle_with_bounded_regex(self):
+        graph = parse_data("&o1 = [n -> &o2]; &o2 = [n -> &o1]")
+        # Exactly 4 steps around the 2-cycle lands back at &o1.
+        query = parse_query("SELECT X WHERE Root = [n.n.n.n -> X]")
+        assert evaluate(query, graph) == [{"X": "&o1"}]
+
+    def test_self_loop(self):
+        graph = parse_data('&o1 = [me -> &o1, out -> o2]; o2 = "done"')
+        query = parse_query("SELECT X WHERE Root = [(me*).out -> X]")
+        assert evaluate(query, graph) == [{"X": "o2"}]
+
+
+class TestLimitsAndEmpty:
+    def test_zero_arm_pattern_matches_any_kind_match(self):
+        ordered = parse_data("o1 = []")
+        unordered = parse_data("o1 = {}")
+        assert satisfies(parse_query("SELECT WHERE Root = []"), ordered)
+        assert not satisfies(parse_query("SELECT WHERE Root = []"), unordered)
+        assert satisfies(parse_query("SELECT WHERE Root = {}"), unordered)
+
+    def test_empty_pattern_on_nonempty_node(self):
+        graph = parse_data("o1 = [a -> o2]; o2 = 1")
+        assert satisfies(parse_query("SELECT WHERE Root = []"), graph)

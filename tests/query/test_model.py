@@ -1,0 +1,154 @@
+"""Unit tests for the query model and Table-2 classifiers."""
+
+import pytest
+
+from repro.query import (
+    LabelVar,
+    PatternArm,
+    PatternDef,
+    PatternKind,
+    Query,
+    QueryError,
+    parse_query,
+)
+
+VIANU_QUERY = """
+SELECT X1
+WHERE Root = [paper -> X1];
+      X1 = [author.name.(_*) -> X2, author.name.(_*) -> X3];
+      X2 = "Vianu"; X3 = "Abiteboul"
+"""
+
+
+class TestPatternDef:
+    def test_value_pattern(self):
+        pattern = PatternDef("X", PatternKind.VALUE, value="v")
+        assert not pattern.is_collection
+
+    def test_value_requires_value(self):
+        with pytest.raises(ValueError):
+            PatternDef("X", PatternKind.VALUE)
+
+    def test_empty_path_rejected(self):
+        from repro.automata import star, sym
+
+        with pytest.raises(ValueError):
+            PatternDef(
+                "X",
+                PatternKind.ORDERED,
+                arms=[PatternArm(star(sym("a")), "Y")],
+            )
+
+    def test_non_empty_path_ok(self):
+        from repro.automata import plus, sym
+
+        pattern = PatternDef(
+            "X", PatternKind.ORDERED, arms=[PatternArm(plus(sym("a")), "Y")]
+        )
+        assert pattern.targets() == ("Y",)
+
+
+class TestQueryValidation:
+    def test_vianu_query(self):
+        query = parse_query(VIANU_QUERY)
+        assert query.select == ("X1",)
+        assert query.root_var == "Root"
+        assert query.node_vars() == ("Root", "X1", "X2", "X3")
+
+    def test_double_definition_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT X WHERE Root = [a -> X]; X = [b -> Y]; X = [c -> Z]")
+
+    def test_non_referenceable_shared_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT X WHERE Root = [a -> X, b -> X]")
+
+    def test_referenceable_shared_allowed(self):
+        query = parse_query("SELECT WHERE Root = {a -> &X, b -> &X}")
+        assert "&X" in query.node_vars()
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT X WHERE Root = [a -> X]; Y = [b -> Z]")
+
+    def test_root_referenced_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT WHERE Root = [a -> X]; X = [b -> Root]")
+
+    def test_label_value_clash_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT WHERE Root = {$v -> X}; X = $v")
+
+
+class TestClassifiers:
+    def test_vianu_is_join_free(self):
+        query = parse_query(VIANU_QUERY)
+        assert query.is_join_free()
+        assert not query.is_projection_free()
+        assert not query.is_constant_labels()
+        assert not query.is_constant_suffix()
+
+    def test_projection_free(self):
+        query = parse_query("SELECT Root, X WHERE Root = [a -> X]")
+        assert query.is_projection_free()
+
+    def test_boolean(self):
+        query = parse_query("SELECT WHERE Root = [a -> X]")
+        assert query.is_boolean()
+
+    def test_constant_labels(self):
+        query = parse_query("SELECT X WHERE Root = [a.b -> X, c -> Y]")
+        assert query.is_constant_labels()
+        assert query.is_constant_suffix()
+
+    def test_constant_suffix(self):
+        query = parse_query("SELECT X WHERE Root = [(_*).name -> X]")
+        assert not query.is_constant_labels()
+        assert query.is_constant_suffix()
+
+    def test_not_constant_suffix(self):
+        query = parse_query("SELECT X WHERE Root = [name.(_+) -> X]")
+        assert not query.is_constant_suffix()
+
+    def test_node_join_via_double_reference(self):
+        query = parse_query("SELECT WHERE Root = {a -> &X, b.c -> &X}")
+        assert query.node_join_vars() == ("&X",)
+        assert not query.is_join_free()
+        assert query.join_width() == 1
+
+    def test_cycle_join(self):
+        query = parse_query("SELECT WHERE &Root = [a -> &X]; &X = [b -> &Root]")
+        assert "&Root" in query.node_join_vars()
+        assert "&X" in query.node_join_vars()
+
+    def test_label_join(self):
+        query = parse_query("SELECT WHERE Root = {$l -> X, $l -> Y}")
+        assert query.label_join_vars() == ("$l",)
+        assert not query.is_join_free()
+
+    def test_single_label_var_is_join_free(self):
+        query = parse_query("SELECT $l WHERE Root = {$l -> X}")
+        assert query.is_join_free()
+        assert query.label_vars() == ("$l",)
+
+    def test_value_join_tracked_separately(self):
+        query = parse_query(
+            "SELECT WHERE Root = [a -> X, b -> Y]; X = $v; Y = $v"
+        )
+        assert query.value_join_vars() == ("$v",)
+        assert query.is_join_free()  # value joins stay PTIME per the paper
+
+
+class TestAccessors:
+    def test_value_and_label_vars(self):
+        query = parse_query(
+            "SELECT $l, $v WHERE Root = {$l -> X}; X = $v"
+        )
+        assert query.label_vars() == ("$l",)
+        assert query.value_vars() == ("$v",)
+        assert query.is_projection_free() is False  # Root, X not selected
+
+    def test_definition_lookup(self):
+        query = parse_query(VIANU_QUERY)
+        assert query.definition("X2").value == "Vianu"
+        assert query.definition("missing") is None

@@ -1,0 +1,71 @@
+"""Unit tests for the query surface syntax."""
+
+import pytest
+
+from repro.query import PatternKind, parse_query, query_to_string
+
+
+class TestParseQuery:
+    def test_select_list(self):
+        query = parse_query("SELECT X, Y WHERE Root = [a -> X, b -> Y]")
+        assert query.select == ("X", "Y")
+
+    def test_empty_select(self):
+        query = parse_query("SELECT WHERE Root = [a -> X]")
+        assert query.select == ()
+        assert query.is_boolean()
+
+    def test_dollar_in_select(self):
+        query = parse_query("SELECT $l, X WHERE Root = {$l -> X}")
+        assert query.select == ("$l", "X")
+
+    def test_value_patterns(self):
+        query = parse_query(
+            'SELECT WHERE Root = [a -> X, b -> Y, c -> Z];'
+            'X = "s"; Y = 42; Z = $v'
+        )
+        assert query.definition("X").kind is PatternKind.VALUE
+        assert query.definition("Y").value == 42
+        assert query.definition("Z").kind is PatternKind.VALUE_VAR
+        assert query.definition("Z").value_var == "v"
+
+    def test_unordered_pattern(self):
+        query = parse_query("SELECT WHERE Root = {a -> X}")
+        assert query.definition("Root").kind is PatternKind.UNORDERED
+
+    def test_empty_arms(self):
+        query = parse_query("SELECT WHERE Root = []")
+        assert query.definition("Root").arms == ()
+
+    def test_missing_where(self):
+        with pytest.raises(SyntaxError):
+            parse_query("SELECT X Root = [a -> X]")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SyntaxError):
+            parse_query("SELECT X WHERE Root = [a -> X] extra")
+
+    def test_arrow_atom_rejected_in_paths(self):
+        with pytest.raises(SyntaxError):
+            parse_query("SELECT WHERE Root = [a -> T -> X]")
+
+
+class TestRoundTrip:
+    CASES = [
+        "SELECT X WHERE Root = [a -> X]",
+        "SELECT WHERE Root = {a.b* -> X, (c|d) -> Y}",
+        'SELECT X WHERE Root = [paper -> X]; X = "Vianu"',
+        "SELECT $l, $v WHERE Root = {$l -> X}; X = $v",
+        "SELECT X1 WHERE Root = [paper -> X1];"
+        "X1 = [author.name.(_*) -> X2, author.name.(_*) -> X3];"
+        'X2 = "Vianu"; X3 = "Abiteboul"',
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        query = parse_query(text)
+        assert parse_query(query_to_string(query)) == query
+
+    def test_compact(self):
+        query = parse_query("SELECT X WHERE Root = [a -> X]")
+        assert "\n" not in query_to_string(query, indent=False)

@@ -1,0 +1,166 @@
+"""Tests for partially ordered patterns (the paper's Section 2 remark on
+XML-QL's ``i < j`` constraints).
+
+Semantics: constrained arm pairs need strictly increasing first edges;
+unconstrained pairs behave like unordered arms (any order, overlap
+allowed).  The paper notes the complexity effect is "the higher of the
+complexities of ordered or unordered patterns" — which is exactly where
+the implementation routes them (the unordered-style word search with
+order side conditions).
+"""
+
+import pytest
+
+from repro.automata import Sym
+from repro.data import parse_data
+from repro.query import (
+    PatternArm,
+    PatternDef,
+    PatternKind,
+    Query,
+    evaluate,
+    parse_xmlql,
+    satisfies,
+)
+from repro.schema import parse_schema
+from repro.typing import is_satisfiable
+from repro.workloads import enumerate_instances
+
+
+def partial_query(pairs, labels=("a", "b", "c")):
+    arms = [PatternArm(Sym(label), f"X{index}") for index, label in enumerate(labels)]
+    root = PatternDef("Root", PatternKind.ORDERED, arms=arms, partial_order=pairs)
+    return Query([], [root])
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partial_query([(0, 0)])
+        with pytest.raises(ValueError):
+            partial_query([(0, 5)])
+        with pytest.raises(ValueError):
+            partial_query([(0, 1), (1, 0)])  # cycle
+        with pytest.raises(ValueError):
+            PatternDef(
+                "X",
+                PatternKind.UNORDERED,
+                arms=[PatternArm(Sym("a"), "Y")],
+                partial_order=[],
+            )
+
+    def test_order_pairs(self):
+        total = partial_query(None).patterns[0]
+        assert total.order_pairs() == ((0, 1), (1, 2))
+        partial = partial_query([(2, 0)]).patterns[0]
+        assert partial.order_pairs() == ((2, 0),)
+        free = partial_query([]).patterns[0]
+        assert free.order_pairs() == ()
+
+    def test_equality_includes_order(self):
+        assert partial_query([(0, 1)]) != partial_query([(1, 0)])
+        assert partial_query([(0, 1)]) == partial_query([(0, 1)])
+
+
+class TestEvaluation:
+    GRAPH = parse_data(
+        "o1 = [b -> o2, a -> o3, c -> o4]; o2 = 1; o3 = 2; o4 = 3"
+    )
+
+    def test_unconstrained_arms_any_order(self):
+        # Total order a<b<c fails on [b,a,c]; the empty partial order holds.
+        assert not satisfies(partial_query(None), self.GRAPH)
+        assert satisfies(partial_query([]), self.GRAPH)
+
+    def test_single_constraint(self):
+        # b before a holds in the data; a before b does not.
+        assert satisfies(partial_query([(1, 0)]), self.GRAPH)
+        assert not satisfies(partial_query([(0, 1)]), self.GRAPH)
+
+    def test_unconstrained_pair_may_share_edge(self):
+        graph = parse_data("o1 = [a -> o2]; o2 = 1")
+        arms = [PatternArm(Sym("a"), "X"), PatternArm(Sym("a"), "Y")]
+        free = Query(
+            [], [PatternDef("Root", PatternKind.ORDERED, arms=arms, partial_order=[])]
+        )
+        strict = Query([], [PatternDef("Root", PatternKind.ORDERED, arms=arms)])
+        assert satisfies(free, graph)
+        assert not satisfies(strict, graph)
+
+
+class TestSatisfiability:
+    SCHEMA = parse_schema("T = [b -> U . a -> U . c -> U]; U = int")
+
+    def test_partial_vs_total(self):
+        assert not is_satisfiable(partial_query(None), self.SCHEMA)  # a<b fails
+        assert is_satisfiable(partial_query([]), self.SCHEMA)
+        assert is_satisfiable(partial_query([(1, 0)]), self.SCHEMA)  # b before a
+        assert not is_satisfiable(partial_query([(0, 1)]), self.SCHEMA)
+
+    def test_shared_first_edge_when_unconstrained(self):
+        schema = parse_schema("T = [a -> U]; U = int")
+        arms = [PatternArm(Sym("a"), "X"), PatternArm(Sym("a"), "Y")]
+        free = Query(
+            [], [PatternDef("Root", PatternKind.ORDERED, arms=arms, partial_order=[])]
+        )
+        assert is_satisfiable(free, schema)
+        strict = Query([], [PatternDef("Root", PatternKind.ORDERED, arms=arms)])
+        assert not is_satisfiable(strict, schema)
+
+    def test_constraint_forbids_sharing(self):
+        schema = parse_schema("T = [a -> U]; U = int")
+        arms = [PatternArm(Sym("a"), "X"), PatternArm(Sym("a"), "Y")]
+        constrained = Query(
+            [],
+            [PatternDef("Root", PatternKind.ORDERED, arms=arms, partial_order=[(0, 1)])],
+        )
+        assert not is_satisfiable(constrained, schema)
+
+    def test_brute_force_agreement(self):
+        """Checker vs exhaustive enumeration on a finite-instance schema."""
+        schema = parse_schema(
+            "R = [x -> U . y -> U | y -> U . x -> U]; U = int"
+        )
+        instances = list(enumerate_instances(schema, max_nodes=6))
+        assert len(instances) == 2
+        for pairs in (None, [], [(0, 1)], [(1, 0)]):
+            arms = [PatternArm(Sym("x"), "X"), PatternArm(Sym("y"), "Y")]
+            query = Query(
+                [],
+                [
+                    PatternDef(
+                        "Root", PatternKind.ORDERED, arms=arms, partial_order=pairs
+                    )
+                ],
+            )
+            truth = any(satisfies(query, graph) for graph in instances)
+            assert is_satisfiable(query, schema) == truth, pairs
+
+
+class TestXmlqlPartialOrders:
+    def test_declared_constraints_only(self):
+        query = parse_xmlql(
+            "WHERE <a[$i]> $X </> IN Root, <b[$j]> $Y </> IN Root, "
+            "<c[$k]> $Z </> IN Root, $i < $k CONSTRUCT <r/>"
+        )
+        root = query.definition("Root")
+        assert root.partial_order == ((0, 2),)
+
+    def test_mixed_positional_now_allowed(self):
+        query = parse_xmlql(
+            "WHERE <a[$i]> $X </> IN Root, <b> $Y </> IN Root CONSTRUCT <r/>"
+        )
+        assert query.definition("Root").partial_order == ()
+
+    def test_paper_query_total_constraint(self):
+        query = parse_xmlql(
+            """
+            WHERE <paper> $P </paper> IN Root,
+                  <author[$i].name.*> Vianu </> IN $P,
+                  <author[$j].name.*> Abiteboul </> IN $P,
+                  $i < $j
+            CONSTRUCT <result> $P </result>
+            """
+        )
+        p_def = query.definition("P")
+        assert p_def.partial_order == ((0, 1),)

@@ -1,0 +1,146 @@
+"""Tests for the XML-QL front end (the paper's Section 2 translation)."""
+
+import pytest
+
+from repro.data import from_xml
+from repro.query import PatternKind, evaluate, parse_query
+from repro.query.xmlql import XmlqlError, parse_xmlql
+
+PAPER_XMLQL = """
+WHERE <paper> $X1 </paper> IN Root,
+      <author[$i].name.*> Vianu </> IN $X1,
+      <author[$j].name.*> Abiteboul </> IN $X1,
+      $i < $j
+CONSTRUCT <result> $X1 </result>
+"""
+
+
+class TestPaperExample:
+    def test_translation_shape(self):
+        query = parse_xmlql(PAPER_XMLQL)
+        assert query.select == ("X1",)
+        assert query.root_var == "Root"
+        root_def = query.definition("Root")
+        assert root_def.kind is PatternKind.ORDERED
+        x1_def = query.definition("X1")
+        assert len(x1_def.arms) == 2
+
+    def test_matches_native_query(self):
+        """The translation is semantically the paper's native query."""
+        native = parse_query(
+            'SELECT X1 WHERE Root = [paper -> X1];'
+            'X1 = [author.name.(_*) -> V, author.name.(_*) -> A];'
+            'V = "Vianu"; A = "Abiteboul"'
+        )
+        translated = parse_xmlql(PAPER_XMLQL)
+        bib = from_xml(
+            "<paper><title>T</title>"
+            "<author><name><firstname>Victor</firstname>"
+            "<lastname>Vianu</lastname></name><email>e1</email></author>"
+            "<author><name><firstname>Serge</firstname>"
+            "<lastname>Abiteboul</lastname></name><email>e2</email></author>"
+            "</paper>"
+        )
+        native_hits = {b["X1"] for b in evaluate(native, bib)}
+        translated_hits = {b["X1"] for b in evaluate(translated, bib)}
+        assert native_hits == translated_hits != set()
+
+    def test_order_constraint_respected(self):
+        flipped = PAPER_XMLQL.replace("$i < $j", "$j < $i")
+        query = parse_xmlql(flipped)
+        x1_def = query.definition("X1")
+        # Arms keep textual order; the constraint flips as a partial order.
+        assert x1_def.partial_order == ((1, 0),)
+        assert query.definition(x1_def.arms[0].target).value == "Vianu"
+
+
+class TestSubsetRules:
+    def test_variable_content(self):
+        query = parse_xmlql("WHERE <a.b> $X </> IN Root CONSTRUCT <r>$X</r>")
+        assert query.select == ("X",)
+        (arm,) = query.definition("Root").arms
+        assert arm.target == "X"
+
+    def test_empty_content(self):
+        query = parse_xmlql("WHERE <a> </> IN Root CONSTRUCT <r/>")
+        (arm,) = query.definition("Root").arms
+        assert arm.target.startswith("_e")
+        assert query.select == ()
+
+    def test_quoted_and_numeric_constants(self):
+        query = parse_xmlql(
+            'WHERE <a> "two words" </> IN Root, <b> 42 </> IN Root CONSTRUCT <r/>'
+        )
+        values = {
+            query.definition(arm.target).value
+            for arm in query.definition("Root").arms
+        }
+        assert values == {"two words", 42}
+
+    def test_star_step_is_any_path(self):
+        query = parse_xmlql("WHERE <a.*.c> $X </> IN Root CONSTRUCT <r>$X</r>")
+        (arm,) = query.definition("Root").arms
+        from repro.automata import ANY, Sym, concat, star
+
+        assert arm.path == concat(Sym("a"), star(ANY), Sym("c"))
+
+    def test_alternation_and_postfix(self):
+        query = parse_xmlql("WHERE <(a|b)+.c> $X </> IN Root CONSTRUCT <r>$X</r>")
+        (arm,) = query.definition("Root").arms
+        assert arm.path.symbols() == {"a", "b", "c"}
+
+    def test_missing_where(self):
+        with pytest.raises(XmlqlError):
+            parse_xmlql("CONSTRUCT <r/>")
+
+    def test_no_clauses(self):
+        with pytest.raises(XmlqlError):
+            parse_xmlql("WHERE $i < $j CONSTRUCT <r/>")
+
+    def test_unsupported_leftovers(self):
+        with pytest.raises(XmlqlError):
+            parse_xmlql("WHERE <a> $X </> IN Root, $X != 3 CONSTRUCT <r/>")
+
+    def test_mixed_positional_becomes_partial(self):
+        query = parse_xmlql(
+            "WHERE <a[$i]> $X </> IN Root, <b> $Y </> IN Root CONSTRUCT <r/>"
+        )
+        # Positional variables present: only declared constraints apply.
+        assert query.definition("Root").partial_order == ()
+
+    def test_unconstrained_positionals_become_free_order(self):
+        query = parse_xmlql(
+            "WHERE <a[$i]> $X </> IN Root, <b[$j]> $Y </> IN Root "
+            "CONSTRUCT <r/>"
+        )
+        assert query.definition("Root").partial_order == ()
+
+    def test_no_root_clause_rejected(self):
+        with pytest.raises(XmlqlError):
+            parse_xmlql("WHERE <a> $X </> IN $Y CONSTRUCT <r/>")
+
+
+class TestIntegrationWithTyping:
+    def test_satisfiability_of_translated_query(self):
+        from repro.schema import parse_schema
+        from repro.typing import is_satisfiable
+
+        schema = parse_schema(
+            """
+            DOCUMENT = [(paper -> PAPER)*];
+            PAPER = [title -> TITLE . (author -> AUTHOR)*];
+            AUTHOR = [name -> NAME . email -> EMAIL];
+            NAME = [firstname -> FIRSTNAME . lastname -> LASTNAME];
+            TITLE = string; FIRSTNAME = string; LASTNAME = string; EMAIL = string
+            """
+        )
+        query = parse_xmlql(
+            """
+            WHERE <paper> $P </paper> IN Root,
+                  <author[$i].name.*> Vianu </> IN $P,
+                  <author[$j].name.*> Abiteboul </> IN $P,
+                  $i < $j
+            CONSTRUCT <result> $P </result>
+            """
+        )
+        assert is_satisfiable(query, schema)

@@ -1,0 +1,75 @@
+"""Unit tests for the 3SAT substrate."""
+
+import random
+
+import pytest
+
+from repro.reductions import Cnf, dpll, random_3sat
+
+
+class TestCnf:
+    def test_evaluate(self):
+        formula = Cnf(2, [(1, 2), (-1, 2)])
+        assert formula.evaluate({1: True, 2: True})
+        assert formula.evaluate({1: False, 2: True})
+        assert not formula.evaluate({1: True, 2: False})
+
+    def test_bad_literal(self):
+        with pytest.raises(ValueError):
+            Cnf(1, [(2,)])
+        with pytest.raises(ValueError):
+            Cnf(1, [(0,)])
+
+
+class TestDpll:
+    def test_satisfiable(self):
+        formula = Cnf(3, [(1, 2, 3), (-1, 2), (-2, 3)])
+        model = dpll(formula)
+        assert model is not None
+        assert formula.evaluate(model)
+
+    def test_unsatisfiable(self):
+        formula = Cnf(1, [(1,), (-1,)])
+        assert dpll(formula) is None
+
+    def test_unsatisfiable_bigger(self):
+        # All eight sign patterns over three variables: unsatisfiable.
+        clauses = [
+            (s1 * 1, s2 * 2, s3 * 3)
+            for s1 in (1, -1)
+            for s2 in (1, -1)
+            for s3 in (1, -1)
+        ]
+        assert dpll(Cnf(3, clauses)) is None
+
+    def test_empty_formula(self):
+        model = dpll(Cnf(2, []))
+        assert model == {1: False, 2: False}
+
+    def test_agrees_with_brute_force(self):
+        import itertools
+
+        for seed in range(30):
+            formula = random_3sat(4, rng=random.Random(seed))
+            brute = any(
+                formula.evaluate(dict(zip(range(1, 5), values)))
+                for values in itertools.product([False, True], repeat=4)
+            )
+            model = dpll(formula)
+            assert (model is not None) == brute, seed
+            if model is not None:
+                assert formula.evaluate(model)
+
+
+class TestRandom3Sat:
+    def test_shape(self):
+        formula = random_3sat(10, rng=random.Random(0))
+        assert formula.n_vars == 10
+        assert len(formula.clauses) == round(4.26 * 10)
+        for clause in formula.clauses:
+            assert 1 <= len(clause) <= 3
+            assert len({abs(l) for l in clause}) == len(clause)
+
+    def test_explicit_clause_count(self):
+        formula = random_3sat(5, n_clauses=7, rng=random.Random(0))
+        assert len(formula.clauses) == 7

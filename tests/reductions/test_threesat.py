@@ -1,0 +1,98 @@
+"""End-to-end tests of the Theorem 3.1 reduction.
+
+The headline check: the satisfiability checker's verdict on the reduced
+(schema, query) pair agrees with DPLL on the source formula — the
+reduction is correct in both directions on a battery of random formulas.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.query import satisfies
+from repro.reductions import (
+    Cnf,
+    assignment_to_instance,
+    dpll,
+    formula_to_query,
+    formula_to_schema,
+    instance_to_assignment,
+    random_3sat,
+    reduce_formula,
+)
+from repro.schema import conforms
+from repro.typing import is_satisfiable
+
+
+class TestReductionStructure:
+    def test_schema_shape(self):
+        formula = Cnf(2, [(1, -2)])
+        schema = formula_to_schema(formula)
+        assert schema.root == "ROOT"
+        assert not schema.is_ordered()
+        assert not schema.is_tagged()
+        assert set(schema.tids()) == {"ROOT", "V1_T", "V1_F", "V2_T", "V2_F", "SAT"}
+
+    def test_query_shape(self):
+        formula = Cnf(2, [(1, -2), (2,)])
+        query = formula_to_query(formula)
+        assert query.is_boolean()
+        assert len(query.patterns[0].arms) == 2
+
+
+class TestCertificates:
+    def test_satisfying_assignment_yields_witness(self):
+        formula = Cnf(2, [(1, 2), (-1, 2)])
+        schema, query = reduce_formula(formula)
+        witness = assignment_to_instance(formula, {1: True, 2: True})
+        assert conforms(witness, schema)
+        assert satisfies(query, witness)
+
+    def test_falsifying_assignment_yields_no_match(self):
+        formula = Cnf(2, [(1,), (2,)])
+        schema, query = reduce_formula(formula)
+        witness = assignment_to_instance(formula, {1: True, 2: False})
+        assert conforms(witness, schema)
+        assert not satisfies(query, witness)
+
+    def test_round_trip_assignment(self):
+        formula = Cnf(3, [(1, -2, 3)])
+        schema = formula_to_schema(formula)
+        assignment = {1: True, 2: False, 3: True}
+        witness = assignment_to_instance(formula, assignment)
+        assert instance_to_assignment(schema, witness) == assignment
+
+
+class TestReductionCorrectness:
+    def check(self, formula):
+        schema, query = reduce_formula(formula)
+        expected = dpll(formula) is not None
+        assert is_satisfiable(query, schema) == expected
+
+    def test_simple_satisfiable(self):
+        self.check(Cnf(2, [(1, 2), (-1, 2)]))
+
+    def test_simple_unsatisfiable(self):
+        self.check(Cnf(1, [(1,), (-1,)]))
+
+    def test_forced_chain(self):
+        # Unit chain forcing all variables true, then a contradiction.
+        self.check(Cnf(3, [(1,), (-1, 2), (-2, 3), (-3,)]))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_formulas(self, seed):
+        # Small instances: the checker is (by design) exponential on the
+        # reduction family — that is the point of the NP cells of Table 2.
+        formula = random_3sat(3, n_clauses=4, rng=random.Random(seed))
+        self.check(formula)
+
+    def test_exhaustive_two_vars(self):
+        # Every 2-variable formula with up to 2 clauses of width <= 2.
+        literals = [1, -1, 2, -2]
+        clauses = [
+            (a, b) for a, b in itertools.combinations(literals, 2)
+            if abs(a) != abs(b)
+        ]
+        for c1, c2 in itertools.combinations(clauses, 2):
+            self.check(Cnf(2, [c1, c2]))

@@ -1,0 +1,151 @@
+"""Unit tests for conformance checking (Definition 2.1)."""
+
+import pytest
+
+from repro.data import parse_data
+from repro.schema import (
+    candidate_types,
+    conforms,
+    find_type_assignment,
+    parse_schema,
+    verify_assignment,
+)
+from tests.schema.test_model import DOCUMENT_SCHEMA
+
+PAPER_DATA = """
+o1 = [paper -> o2];
+o2 = [title -> o3, author -> o4];
+o3 = "A real nice paper";
+o4 = [name -> o5, email -> o6];
+o5 = [firstname -> o7, lastname -> o8];
+o6 = "..."; o7 = "John"; o8 = "Smith"
+"""
+
+
+class TestPaperExample:
+    def test_paper_data_conforms(self):
+        graph = parse_data(PAPER_DATA)
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        assignment = find_type_assignment(graph, schema)
+        assert assignment is not None
+        assert assignment["o1"] == "DOCUMENT"
+        assert assignment["o2"] == "PAPER"
+        assert assignment["o7"] == "FIRSTNAME"
+        assert verify_assignment(graph, schema, assignment)
+
+    def test_wrong_order_fails(self):
+        # author before title violates the (title, author*) content model.
+        graph = parse_data(
+            'o1 = [paper -> o2]; o2 = [author -> o4, title -> o3];'
+            'o3 = "t"; o4 = [name -> o5, email -> o6];'
+            'o5 = [firstname -> o7, lastname -> o8];'
+            'o6 = "e"; o7 = "f"; o8 = "l"'
+        )
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        assert not conforms(graph, schema)
+
+    def test_multiple_papers(self):
+        graph = parse_data(
+            'o1 = [paper -> o2, paper -> o9];'
+            'o2 = [title -> o3, author -> o4];'
+            'o3 = "t1"; o4 = [name -> o5, email -> o6];'
+            'o5 = [firstname -> o7, lastname -> o8];'
+            'o6 = "e"; o7 = "f"; o8 = "l";'
+            'o9 = [title -> o10]; o10 = "t2"'
+        )
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        assert conforms(graph, schema)
+
+
+class TestUnorderedConformance:
+    def test_some_ordering_works(self):
+        schema = parse_schema("T = {a -> U . b -> U}; U = string")
+        # Edges listed b-then-a: unordered nodes may reorder.
+        graph = parse_data('o1 = {b -> o2, a -> o3}; o2 = "x"; o3 = "y"')
+        assert conforms(graph, schema)
+
+    def test_ordered_node_cannot_reorder(self):
+        schema = parse_schema("T = [a -> U . b -> U]; U = string")
+        graph = parse_data('o1 = [b -> o2, a -> o3]; o2 = "x"; o3 = "y"')
+        assert not conforms(graph, schema)
+
+    def test_homogeneous_collection(self):
+        schema = parse_schema("T = {(a -> U)*}; U = int")
+        graph = parse_data("o1 = {a -> o2, a -> o3, a -> o4}; o2 = 1; o3 = 2; o4 = 3")
+        assert conforms(graph, schema)
+
+    def test_count_constraints(self):
+        # Exactly two a-children required.
+        schema = parse_schema("T = {a -> U . a -> U}; U = int")
+        good = parse_data("o1 = {a -> o2, a -> o3}; o2 = 1; o3 = 2")
+        bad = parse_data("o1 = {a -> o2}; o2 = 1")
+        assert conforms(good, schema)
+        assert not conforms(bad, schema)
+
+
+class TestAtomicTypes:
+    def test_value_domains(self):
+        schema = parse_schema("T = [a -> I . b -> F . c -> S]; I = int; F = float; S = string")
+        good = parse_data('o1 = [a -> o2, b -> o3, c -> o4]; o2 = 1; o3 = 2.5; o4 = "s"')
+        assert conforms(good, schema)
+        bad = parse_data('o1 = [a -> o2, b -> o3, c -> o4]; o2 = 1.5; o3 = 2.5; o4 = "s"')
+        assert not conforms(bad, schema)
+
+
+class TestUnionTypes:
+    def test_untagged_union_resolved(self):
+        # Label a may lead to an int or a string; both instances conform.
+        schema = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        assert conforms(parse_data("o1 = [a -> o2]; o2 = 7"), schema)
+        assert conforms(parse_data('o1 = [a -> o2]; o2 = "x"'), schema)
+        assert not conforms(parse_data("o1 = [a -> o2]; o2 = 1.5"), schema)
+
+    def test_candidate_sets(self):
+        schema = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        graph = parse_data("o1 = [a -> o2]; o2 = 7")
+        domains = candidate_types(graph, schema)
+        assert domains["o2"] == {"I"}
+        assert domains["o1"] == {"T"}
+
+
+class TestReferenceable:
+    def test_shared_node_consistent_type(self):
+        schema = parse_schema(
+            "T = [a -> &U . b -> &U]; &U = string"
+        )
+        graph = parse_data('o1 = [a -> &o2, b -> &o2]; &o2 = "x"')
+        assignment = find_type_assignment(graph, schema)
+        assert assignment == {"o1": "T", "&o2": "&U"}
+
+    def test_referenceable_node_needs_referenceable_type(self):
+        schema = parse_schema("T = [a -> U . b -> U]; U = string")
+        graph = parse_data('o1 = [a -> &o2, b -> &o2]; &o2 = "x"')
+        assert not conforms(graph, schema)
+
+    def test_shared_node_conflicting_requirements(self):
+        # a requires &I(int), b requires &S(string): one shared node cannot
+        # satisfy both.
+        schema = parse_schema("T = [a -> &I . b -> &S]; &I = int; &S = string")
+        graph = parse_data("o1 = [a -> &o2, b -> &o2]; &o2 = 3")
+        assert not conforms(graph, schema)
+
+    def test_cyclic_data(self):
+        schema = parse_schema("&T = [(next -> &T)?]")
+        graph = parse_data("&o1 = [next -> &o2]; &o2 = [next -> &o1]")
+        # &o1 is the root and referenced: allowed only for referenceable roots.
+        assert conforms(graph, schema)
+
+
+class TestRootCondition:
+    def test_root_must_get_root_type(self):
+        schema = parse_schema("ROOT = [a -> OTHER]; OTHER = [b -> S]; S = string")
+        # This graph looks like an OTHER, not a ROOT.
+        graph = parse_data('o1 = [b -> o2]; o2 = "x"')
+        assert not conforms(graph, schema)
+
+    def test_assignment_verified_independently(self):
+        graph = parse_data('o1 = [b -> o2]; o2 = "x"')
+        schema = parse_schema("ROOT = [b -> S]; S = string")
+        assert verify_assignment(graph, schema, {"o1": "ROOT", "o2": "S"})
+        assert not verify_assignment(graph, schema, {"o1": "ROOT", "o2": "ROOT"})
+        assert not verify_assignment(graph, schema, {"o1": "ROOT"})

@@ -1,0 +1,105 @@
+"""Tests for label predicates in schemas (the Section 2 remark)."""
+
+import pytest
+
+from repro.automata import Sym, concat, star
+from repro.data import parse_data
+from repro.query import parse_query
+from repro.schema import SchemaError, TypeKind, conforms
+from repro.schema.predicates import (
+    LabelPredicate,
+    PredicateSchema,
+    expand_for_data,
+    expand_for_query,
+)
+from repro.typing import is_satisfiable
+
+IS_NAME = LabelPredicate("isName", lambda label: label.endswith("name"))
+
+
+def author_pre_schema() -> PredicateSchema:
+    """The paper's example: AUTHOR = [isName -> NAME, ...]."""
+    return PredicateSchema(
+        [
+            ("AUTHOR", TypeKind.ORDERED,
+             concat(Sym((IS_NAME, "NAME")), Sym(("email", "EMAIL")))),
+            ("NAME", TypeKind.ATOMIC, "string"),
+            ("EMAIL", TypeKind.ATOMIC, "string"),
+        ],
+        universe={"name", "nickname", "email"},
+    )
+
+
+class TestExpansion:
+    def test_predicate_becomes_alternation(self):
+        schema = author_pre_schema().expand()
+        symbols = schema.type("AUTHOR").symbols()
+        assert ("name", "NAME") in symbols
+        assert ("nickname", "NAME") in symbols
+        assert ("email", "NAME") not in symbols
+        assert ("email", "EMAIL") in symbols
+
+    def test_extra_labels_classified(self):
+        schema = author_pre_schema().expand(extra_labels={"surname", "title"})
+        symbols = schema.type("AUTHOR").symbols()
+        assert ("surname", "NAME") in symbols
+        assert ("title", "NAME") not in symbols
+
+    def test_unmatched_predicate_rejected(self):
+        never = LabelPredicate("never", lambda label: False)
+        pre = PredicateSchema(
+            [("T", TypeKind.ORDERED, Sym((never, "S"))), ("S", TypeKind.ATOMIC, "string")],
+            universe={"a"},
+        )
+        with pytest.raises(SchemaError):
+            pre.expand()
+
+    def test_predicates_listed(self):
+        assert author_pre_schema().predicates() == [IS_NAME]
+
+    def test_plain_atoms_untouched(self):
+        schema = author_pre_schema().expand()
+        assert schema.tag_relation()["email"] == {"EMAIL"}
+
+
+class TestConformanceWithPredicates:
+    def test_data_with_predicate_label(self):
+        pre = author_pre_schema()
+        graph = parse_data('o1 = [nickname -> o2, email -> o3]; o2 = "Ann"; o3 = "a@x"')
+        schema = expand_for_data(pre, graph)
+        assert conforms(graph, schema)
+
+    def test_data_with_unclassified_label(self):
+        pre = author_pre_schema()
+        graph = parse_data('o1 = [petname -> o2, email -> o3]; o2 = "Ann"; o3 = "a@x"')
+        schema = expand_for_data(pre, graph)
+        # "petname" ends with "name": the predicate admits it even though
+        # it is outside the declared universe — classification is exact
+        # for the data's own labels.
+        assert conforms(graph, schema)
+
+    def test_data_violating_predicate(self):
+        pre = author_pre_schema()
+        graph = parse_data('o1 = [title -> o2, email -> o3]; o2 = "Ann"; o3 = "a@x"')
+        schema = expand_for_data(pre, graph)
+        assert not conforms(graph, schema)
+
+
+class TestSatisfiabilityWithPredicates:
+    def test_query_constant_classified(self):
+        pre = author_pre_schema()
+        query = parse_query("SELECT X WHERE Root = [surname -> X]")
+        schema = expand_for_query(pre, query)
+        assert is_satisfiable(query, schema)
+
+    def test_query_constant_rejected_by_predicate(self):
+        pre = author_pre_schema()
+        query = parse_query("SELECT X WHERE Root = [title -> X]")
+        schema = expand_for_query(pre, query)
+        assert not is_satisfiable(query, schema)
+
+    def test_wildcard_reaches_predicate_edges(self):
+        pre = author_pre_schema()
+        query = parse_query("SELECT X WHERE Root = [_ -> X, email -> Y]")
+        schema = expand_for_query(pre, query)
+        assert is_satisfiable(query, schema)

@@ -1,0 +1,78 @@
+"""Unit tests for schema subsumption (used by Section 4.3 type checking)."""
+
+from repro.schema import parse_schema, simulation, subsumes
+
+
+class TestSubsumes:
+    def test_reflexive(self):
+        schema = parse_schema("T = [(a -> U)*]; U = string")
+        assert subsumes(schema, schema)
+
+    def test_tighter_into_looser(self):
+        tight = parse_schema("T = [a -> U . a -> U]; U = string")
+        loose = parse_schema("T2 = [(a -> U2)*]; U2 = string")
+        assert subsumes(tight, loose)
+        assert not subsumes(loose, tight)
+
+    def test_star_vs_plus(self):
+        plus_schema = parse_schema("T = [(a -> U)+]; U = int")
+        star_schema = parse_schema("T = [(a -> U)*]; U = int")
+        assert subsumes(plus_schema, star_schema)
+        assert not subsumes(star_schema, plus_schema)
+
+    def test_atomic_domains_must_match(self):
+        left = parse_schema("T = [a -> U]; U = int")
+        right = parse_schema("T = [a -> U]; U = string")
+        assert not subsumes(left, right)
+
+    def test_kind_must_match(self):
+        ordered = parse_schema("T = [(a -> U)*]; U = int")
+        unordered = parse_schema("T = {(a -> U)*}; U = int")
+        assert not subsumes(ordered, unordered)
+        assert not subsumes(unordered, ordered)
+
+    def test_union_target_types(self):
+        # Left requires int; right allows int or string under the same label.
+        left = parse_schema("T = [a -> I]; I = int")
+        right = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        assert subsumes(left, right)
+        assert not subsumes(right, left)
+
+    def test_recursive_schemas(self):
+        binary = parse_schema("TREE = [(child -> TREE . child -> TREE)?]")
+        anytree = parse_schema("TREE = [(child -> TREE)*]")
+        assert subsumes(binary, anytree)
+        assert not subsumes(anytree, binary)
+
+    def test_nested_structure(self):
+        doc1 = parse_schema(
+            "D = [(paper -> P)*]; P = [title -> T]; T = string"
+        )
+        doc2 = parse_schema(
+            "D = [(paper -> P)*]; P = [title -> T . (author -> A)*];"
+            "T = string; A = string"
+        )
+        assert subsumes(doc1, doc2)
+        assert not subsumes(doc2, doc1)
+
+    def test_functional_mode(self):
+        tight = parse_schema("T = [a -> U . a -> U]; U = string")
+        loose = parse_schema("T2 = [(a -> U2)*]; U2 = string")
+        assert subsumes(tight, loose, functional=True)
+        assert not subsumes(loose, tight, functional=True)
+
+
+class TestSimulation:
+    def test_relation_contents(self):
+        left = parse_schema("T = [a -> U]; U = int")
+        right = parse_schema("T2 = [(a -> U2)*]; U2 = int")
+        relation = simulation(left, right)
+        assert ("T", "T2") in relation
+        assert ("U", "U2") in relation
+
+    def test_unordered_containment_via_ordered(self):
+        # ulang({a.b}) = {{a,b}} is contained in ulang({(a|b)*}); the ordered
+        # containment lang(a.b) ⊆ lang((a|b)*) witnesses it.
+        left = parse_schema("T = {a -> U . b -> U}; U = int")
+        right = parse_schema("T = {(a -> U | b -> U)*}; U = int")
+        assert subsumes(left, right)

@@ -1,0 +1,90 @@
+"""Direct tests for the shared tokenizer."""
+
+import pytest
+
+from repro.lexer import LexError, Token, TokenStream, tokenize
+
+
+class TestTokenize:
+    def test_kinds(self):
+        kinds = [t.kind for t in tokenize('abc "str" 42 4.5 -> . ; $')]
+        assert kinds == [
+            "IDENT",
+            "STRING",
+            "NUMBER",
+            "NUMBER",
+            "ARROW",
+            "OP",
+            "OP",
+            "OP",
+            "EOF",
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 -3 -4.25")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [1, 2.5, -3, -4.25]
+        assert isinstance(values[0], int)
+        assert isinstance(values[1], float)
+
+    def test_arrow_beats_minus(self):
+        tokens = tokenize("a->b")
+        assert [t.kind for t in tokens[:-1]] == ["IDENT", "ARROW", "IDENT"]
+
+    def test_referenceable_idents(self):
+        tokens = tokenize("&o42 plain &T")
+        assert [t.value for t in tokens[:-1]] == ["&o42", "plain", "&T"]
+
+    def test_string_escapes(self):
+        (token, _eof) = tokenize(r'"a\"b\n\t\\"')
+        assert token.value == 'a"b\n\t\\'
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a # comment here\nb")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_positions(self):
+        tokens = tokenize("ab\n  cd")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_lex_error_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ok\n @bad")
+        assert "line 2" in str(exc.value)
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "EOF"
+
+
+class TestTokenStream:
+    def test_match_and_expect(self):
+        stream = TokenStream("a -> b")
+        assert stream.match("IDENT").value == "a"
+        assert stream.match("OP", ";") is None
+        stream.expect("ARROW")
+        assert stream.expect("IDENT").value == "b"
+        assert stream.at_end()
+
+    def test_expect_error_message(self):
+        stream = TokenStream("a b")
+        stream.advance()
+        with pytest.raises(SyntaxError) as exc:
+            stream.expect("OP", "=")
+        assert "expected OP '='" in str(exc.value)
+        assert "line 1" in str(exc.value)
+
+    def test_peek(self):
+        stream = TokenStream("x y")
+        assert stream.peek().value == "x"
+        assert stream.peek(1).value == "y"
+        assert stream.peek(99).kind == "EOF"
+
+    def test_advance_stops_at_eof(self):
+        stream = TokenStream("x")
+        stream.advance()
+        eof = stream.advance()
+        assert eof.kind == "EOF"
+        assert stream.advance().kind == "EOF"

@@ -1,0 +1,35 @@
+"""Tests for the lazy top-level package API."""
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_unknown_name(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_symbol
+
+    def test_dir_lists_exports(self):
+        listing = dir(repro)
+        assert "parse_schema" in listing
+        assert "find_witness" in listing
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_flow(self):
+        schema = repro.parse_schema(
+            "DOC = [(paper -> PAPER)*]; PAPER = [title -> T]; T = string"
+        )
+        query = repro.parse_query("SELECT X WHERE Root = [paper.title -> X]")
+        assert repro.infer_types(query, schema) == [{"X": "T"}]
+
+    def test_caching(self):
+        first = repro.parse_query
+        second = repro.parse_query
+        assert first is second

@@ -1,0 +1,110 @@
+"""Unit tests for the Table-2 classifier."""
+
+from repro.query import parse_query
+from repro.schema import parse_schema
+from repro.typing import classify, table2_columns, table2_prediction, table2_rows
+
+from tests.typing.test_satisfiability import DOCUMENT_SCHEMA, VIANU_QUERY
+
+
+class TestClassify:
+    def test_vianu_on_document(self):
+        cell = classify(parse_query(VIANU_QUERY), parse_schema(DOCUMENT_SCHEMA))
+        assert cell.schema_row == "ordered+tagged"
+        assert cell.schema_is_dtd_minus
+        assert cell.query_join_free
+        assert cell.polynomial
+
+    def test_unordered_schema_is_hard(self):
+        schema = parse_schema("T = {a -> U . b -> U}; U = int")
+        query = parse_query("SELECT X WHERE Root = {a -> X}")
+        cell = classify(query, schema)
+        assert cell.schema_row in ("arbitrary", "tagged")
+        assert not cell.polynomial
+
+    def test_homogeneous_counts_as_ordered(self):
+        schema = parse_schema("T = {(a -> U)*}; U = int")
+        query = parse_query("SELECT X WHERE Root = {a -> X}")
+        cell = classify(query, schema)
+        assert cell.schema_ordered
+
+    def test_joins_on_ordered_untagged(self):
+        schema = parse_schema("T = [a -> &U | b -> &U]; &U = int")
+        query = parse_query("SELECT WHERE Root = [(a|b) -> &X, (a|b).c* -> &X]")
+        cell = classify(query, schema)
+        assert not cell.query_join_free
+        assert cell.query_join_width == 1
+        # Bounded joins on ordered schemas stay polynomial.
+        assert cell.query_column == "bounded-joins"
+        assert cell.polynomial
+
+    def test_many_joins_exceed_bound(self):
+        # Untagged (label a points to two types), ordered schema.
+        schema = parse_schema(
+            "T = [(a -> &U | a -> &W)*]; &U = [(a -> &U | a -> &W)*]; &W = int"
+        )
+        query = parse_query(
+            "SELECT WHERE Root = [a -> &X, a.a -> &X, a -> &Y, a.a -> &Y,"
+            " a -> &Z, a.a -> &Z]"
+        )
+        cell = classify(query, schema, join_bound=2)
+        assert cell.schema_row == "ordered"
+        assert cell.query_join_width == 3
+        assert cell.query_column in ("arbitrary", "constant-labels")
+        # Constant labels without tagging is still NP.
+        assert not cell.polynomial
+
+    def test_constant_suffix_tagged(self):
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        query = parse_query(
+            "SELECT WHERE Root = [(_*).author -> &X, (_*).paper.author -> &X]"
+        )
+        cell = classify(query, schema, join_bound=0)
+        assert cell.query_constant_suffix
+        assert not cell.query_constant_labels
+        assert cell.schema_row == "ordered+tagged"
+        assert cell.polynomial
+
+    def test_projection_free_flag(self):
+        schema = parse_schema("T = [a -> U]; U = int")
+        query = parse_query("SELECT Root, X WHERE Root = [a -> X]")
+        assert classify(query, schema).query_projection_free
+
+
+class TestTableShape:
+    def test_rows_and_columns(self):
+        assert len(table2_rows()) == 4
+        assert len(table2_columns()) == 6
+
+    def test_general_case_np(self):
+        assert table2_prediction("arbitrary", "arbitrary") == "NP-complete"
+
+    def test_ordered_join_free_ptime(self):
+        assert table2_prediction("ordered", "join-free") == "PTIME"
+        assert table2_prediction("ordered", "bounded-joins") == "PTIME"
+
+    def test_order_alone_does_not_suffice(self):
+        # Leftmost item of line 2 in the paper's table.
+        assert table2_prediction("ordered", "arbitrary") == "NP-complete"
+        assert table2_prediction("ordered", "constant-suffix") == "NP-complete"
+
+    def test_tagging_alone_does_not_suffice(self):
+        # Line 4 of the paper's table.
+        assert table2_prediction("tagged", "arbitrary") == "NP-complete"
+        assert (
+            table2_prediction("tagged", "join-free+constant-labels")
+            == "NP-complete"
+        )
+
+    def test_order_plus_tagging(self):
+        assert table2_prediction("ordered+tagged", "constant-suffix") == "PTIME"
+        assert table2_prediction("ordered+tagged", "constant-labels") == "PTIME"
+        assert table2_prediction("ordered+tagged", "join-free") == "PTIME"
+        assert table2_prediction("ordered+tagged", "arbitrary") == "NP-complete"
+
+    def test_restrictions_ineffective_without_order(self):
+        # Rightmost column of the paper's table.
+        for row in ("arbitrary", "tagged"):
+            assert (
+                table2_prediction(row, "join-free+constant-labels") == "NP-complete"
+            )

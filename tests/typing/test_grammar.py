@@ -1,0 +1,116 @@
+"""Tests for the acyclic extended CFG of Section 3.4.
+
+The grammar is an independent implementation of satisfiability for nested
+join-free ordered queries; the main value here is cross-validation
+against the general checker, plus the polynomial-size claim.
+"""
+
+import random
+
+import pytest
+
+from repro.query import parse_query
+from repro.schema import parse_schema
+from repro.typing import is_satisfiable
+from repro.typing.grammar import NonTerm, TraceGrammar
+from repro.workloads import (
+    chain_query,
+    chain_schema,
+    deep_tree_query,
+    document_schema,
+    random_join_free_query,
+)
+
+DOCUMENT_SCHEMA = parse_schema(
+    """
+    DOCUMENT = [(paper -> PAPER)*];
+    PAPER = [title -> TITLE . (author -> AUTHOR)*];
+    AUTHOR = [name -> NAME . email -> EMAIL];
+    NAME = [firstname -> FIRSTNAME . lastname -> LASTNAME];
+    TITLE = string; FIRSTNAME = string; LASTNAME = string; EMAIL = string
+    """
+)
+
+
+class TestViability:
+    def test_paper_query_viable_types(self):
+        query = parse_query(
+            'SELECT X1 WHERE Root = [paper -> X1];'
+            'X1 = [author.name.(_*) -> X2, author.name.(_*) -> X3];'
+            'X2 = "Vianu"; X3 = "Abiteboul"'
+        )
+        grammar = TraceGrammar(query, DOCUMENT_SCHEMA)
+        assert grammar.viable_types("X1") == {"PAPER"}
+        assert grammar.viable_types("X2") >= {"LASTNAME", "FIRSTNAME"}
+        assert grammar.satisfiable()
+
+    def test_unsatisfiable(self):
+        query = parse_query("SELECT X WHERE Root = [nothing -> X]")
+        grammar = TraceGrammar(query, DOCUMENT_SCHEMA)
+        assert not grammar.satisfiable()
+
+    def test_nested_chain(self):
+        schema = chain_schema(3)
+        grammar = TraceGrammar(deep_tree_query(3), schema)
+        assert grammar.satisfiable()
+        # X3 is an undefined target: locally viable at every inhabited
+        # type (the incoming path narrows it during inference, not here);
+        # X2's definition [a3 -> X3] pins X2 to T2.
+        assert grammar.viable_types("X2") == {"T2"}
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_agrees_with_general_checker(self, seed):
+        rng = random.Random(seed)
+        schema = document_schema(2)
+        query = random_join_free_query(sorted(schema.labels()), 2, rng)
+        grammar = TraceGrammar(query, schema)
+        assert grammar.satisfiable() == is_satisfiable(query, schema), seed
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_agrees_on_chains(self, depth):
+        schema = chain_schema(4)
+        query = chain_query(depth)
+        grammar = TraceGrammar(query, schema)
+        assert grammar.satisfiable() == is_satisfiable(query, schema) == (depth == 4) or (
+            grammar.satisfiable() == is_satisfiable(query, schema)
+        )
+
+
+class TestProductions:
+    def test_nonterminals(self):
+        query = parse_query("SELECT X WHERE Root = [paper -> X]")
+        grammar = TraceGrammar(query, DOCUMENT_SCHEMA)
+        nonterminals = grammar.nonterminals()
+        assert NonTerm("Root", "DOCUMENT") in nonterminals
+
+    def test_production_mentions_child_nonterminals(self):
+        query = parse_query("SELECT X WHERE Root = [paper -> X]; X = [title -> T]")
+        grammar = TraceGrammar(query, DOCUMENT_SCHEMA)
+        production = grammar.production(NonTerm("Root", "DOCUMENT"))
+        symbols = production.symbols()
+        assert NonTerm("X", "PAPER") in symbols
+        assert "paper" in symbols
+
+    def test_size_polynomial_in_schema(self):
+        # Grammar size grows roughly linearly with chain depth, far from
+        # the exponential expansion of Tr(S) as a single regex.
+        sizes = []
+        for depth in (2, 4, 8):
+            schema = chain_schema(depth)
+            grammar = TraceGrammar(deep_tree_query(depth), schema)
+            sizes.append(grammar.size())
+        assert sizes[2] < 40 * sizes[0]
+
+    def test_rejects_joins(self):
+        schema = parse_schema("T = {a -> &U . b -> &U}; &U = string")
+        query = parse_query("SELECT WHERE Root = {a -> &X, b -> &X}")
+        with pytest.raises(ValueError):
+            TraceGrammar(query, schema)
+
+    def test_rejects_unordered_defs(self):
+        schema = parse_schema("T = {(a -> U)*}; U = string")
+        query = parse_query("SELECT WHERE Root = {a -> X}")
+        with pytest.raises(ValueError):
+            TraceGrammar(query, schema)

@@ -1,0 +1,79 @@
+"""Tests for schema-product reachability (the traces engine)."""
+
+import pytest
+
+from repro.automata import ANY, Sym, concat, star, word
+from repro.schema import parse_schema
+from repro.typing import SchemaReach
+
+SCHEMA = parse_schema(
+    """
+    DOCUMENT = [(paper -> PAPER)*];
+    PAPER = [title -> TITLE . (author -> AUTHOR)*];
+    AUTHOR = [name -> NAME]; NAME = string; TITLE = string
+    """
+)
+
+
+@pytest.fixture(scope="module")
+def reach():
+    return SchemaReach(SCHEMA)
+
+
+class TestStartSymbols:
+    def test_first_steps(self, reach):
+        options = reach.start_symbols(word(["paper", "title"]), "DOCUMENT")
+        assert len(options) == 1
+        (symbol, states) = options[0]
+        assert symbol == ("paper", "PAPER")
+        assert states
+
+    def test_wildcard_start(self, reach):
+        options = reach.start_symbols(concat(ANY, Sym("title")), "DOCUMENT")
+        assert [symbol for symbol, _s in options] == [("paper", "PAPER")]
+
+    def test_dead_start(self, reach):
+        assert reach.start_symbols(Sym("nosuch"), "DOCUMENT") == []
+
+
+class TestCompletions:
+    def test_end_types(self, reach):
+        regex = concat(Sym("paper"), star(ANY))
+        states = reach.compile_path(regex).step(
+            reach.initial_states(regex), "paper"
+        )
+        ends = reach.reachable_end_types(regex, "PAPER", states)
+        # paper._* can stop at PAPER itself or anything below it.
+        assert ends == {"PAPER", "TITLE", "AUTHOR", "NAME"}
+
+    def test_can_complete(self, reach):
+        regex = word(["paper", "author", "name"])
+        after_paper = reach.compile_path(regex).step(
+            reach.initial_states(regex), "paper"
+        )
+        assert reach.can_complete(regex, "PAPER", after_paper, {"NAME"})
+        assert not reach.can_complete(regex, "PAPER", after_paper, {"TITLE"})
+        assert not reach.can_complete(regex, "PAPER", after_paper, set())
+
+    def test_completions_include_start(self, reach):
+        regex = Sym("paper")
+        states = reach.compile_path(regex).step(
+            reach.initial_states(regex), "paper"
+        )
+        configurations = reach.completions(regex, "PAPER", states)
+        assert ("PAPER", states) in configurations
+
+    def test_uninhabited_targets_pruned(self):
+        schema = parse_schema(
+            "R = [a -> U | c -> W]; U = string; W = [x -> W]"
+        )
+        reach = SchemaReach(schema)
+        assert reach.start_symbols(Sym("c"), "R") == []
+        assert reach.start_symbols(Sym("a"), "R") != []
+
+    def test_caching_stable(self, reach):
+        regex = word(["paper", "title"])
+        states = reach.initial_states(regex)
+        first = reach.completions(regex, "DOCUMENT", states)
+        second = reach.completions(regex, "DOCUMENT", states)
+        assert first is second

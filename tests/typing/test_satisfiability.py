@@ -1,0 +1,311 @@
+"""Unit tests for satisfiability (type correctness, Section 3.1).
+
+Includes the paper's own running examples: the Document schema and the
+Abiteboul/Vianu query, plus the single-author schema on which the paper
+says the query becomes unsatisfiable.
+"""
+
+import pytest
+
+from repro.query import parse_query
+from repro.schema import parse_schema
+from repro.typing import is_satisfiable
+
+DOCUMENT_SCHEMA = """
+DOCUMENT = [(paper -> PAPER)*];
+PAPER = [title -> TITLE . (author -> AUTHOR)*];
+AUTHOR = [name -> NAME . email -> EMAIL];
+NAME = [firstname -> FIRSTNAME . lastname -> LASTNAME];
+TITLE = string; FIRSTNAME = string; LASTNAME = string; EMAIL = string
+"""
+
+SINGLE_AUTHOR_SCHEMA = """
+DOCUMENT = [(paper -> PAPER)*];
+TITLE = string;
+PAPER = [title -> TITLE . author -> AUTHOR];
+AUTHOR = [name -> NAME];
+NAME = string
+"""
+
+VIANU_QUERY = """
+SELECT X1
+WHERE Root = [paper -> X1];
+      X1 = [author.name.(_*) -> X2, author.name.(_*) -> X3];
+      X2 = "Vianu"; X3 = "Abiteboul"
+"""
+
+
+class TestPaperExamples:
+    def test_query_satisfiable_for_document_schema(self):
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        query = parse_query(VIANU_QUERY)
+        assert is_satisfiable(query, schema)
+
+    def test_query_unsatisfiable_for_single_author_schema(self):
+        # The paper: "Q is satisfiable for S, but is not satisfiable if
+        # evaluated w.r.t the schema [with a single author]".
+        schema = parse_schema(SINGLE_AUTHOR_SCHEMA)
+        query = parse_query(VIANU_QUERY)
+        assert not is_satisfiable(query, schema)
+
+
+class TestBasicPaths:
+    def test_single_edge(self):
+        schema = parse_schema("T = [a -> U]; U = string")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [a -> X]"), schema)
+        assert not is_satisfiable(parse_query("SELECT WHERE Root = [b -> X]"), schema)
+
+    def test_path_through_types(self):
+        schema = parse_schema("T = [a -> U]; U = [b -> V]; V = int")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [a.b -> X]"), schema)
+        assert not is_satisfiable(parse_query("SELECT WHERE Root = [b.a -> X]"), schema)
+
+    def test_star_path(self):
+        schema = parse_schema("T = [a -> T | b -> U]; U = string")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [(a*).b -> X]"), schema)
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [a.a.a.b -> X]"), schema)
+        assert not is_satisfiable(parse_query("SELECT WHERE Root = [b.a -> X]"), schema)
+
+    def test_wildcard(self):
+        schema = parse_schema("T = [weird -> U]; U = int")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [_ -> X]"), schema)
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [(_*).weird -> X]"), schema)
+
+    def test_uninhabited_type_blocks_path(self):
+        # c leads only to an uninhabited type: no instance has a c edge.
+        schema = parse_schema("T = [a -> U | c -> W]; U = string; W = [x -> W]")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [a -> X]"), schema)
+        assert not is_satisfiable(parse_query("SELECT WHERE Root = [c -> X]"), schema)
+
+    def test_uninhabited_root(self):
+        schema = parse_schema("T = [a -> T]")
+        assert not is_satisfiable(parse_query("SELECT WHERE Root = [a -> X]"), schema)
+
+
+class TestValues:
+    def test_constant_value_needs_matching_domain(self):
+        schema = parse_schema("T = [a -> I]; I = int")
+        assert is_satisfiable(
+            parse_query("SELECT WHERE Root = [a -> X]; X = 42"), schema
+        )
+        assert not is_satisfiable(
+            parse_query('SELECT WHERE Root = [a -> X]; X = "s"'), schema
+        )
+
+    def test_value_variable(self):
+        schema = parse_schema("T = [a -> I]; I = int")
+        assert is_satisfiable(
+            parse_query("SELECT $v WHERE Root = [a -> X]; X = $v"), schema
+        )
+
+    def test_value_join_needs_common_domain(self):
+        mixed = parse_schema("T = [a -> I . b -> S]; I = int; S = string")
+        query = parse_query("SELECT WHERE Root = [a -> X, b -> Y]; X = $v; Y = $v")
+        assert not is_satisfiable(query, mixed)
+        same = parse_schema("T = [a -> I . b -> J]; I = int; J = int")
+        assert is_satisfiable(query, same)
+
+
+class TestOrderInteraction:
+    def test_ordered_pattern_respects_schema_order(self):
+        schema = parse_schema("T = [a -> U . b -> U]; U = int")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [a -> X, b -> Y]"), schema)
+        assert not is_satisfiable(
+            parse_query("SELECT WHERE Root = [b -> Y, a -> X]"), schema
+        )
+
+    def test_ordered_needs_distinct_first_edges(self):
+        one = parse_schema("T = [a -> U]; U = int")
+        query = parse_query("SELECT WHERE Root = [a -> X, a -> Y]")
+        assert not is_satisfiable(query, one)
+        two = parse_schema("T = [a -> U . a -> U]; U = int")
+        assert is_satisfiable(query, two)
+
+    def test_ordered_star_supplies_many_edges(self):
+        schema = parse_schema("T = [(a -> U)*]; U = int")
+        query = parse_query("SELECT WHERE Root = [a -> X, a -> Y, a -> Z]")
+        assert is_satisfiable(query, schema)
+
+    def test_kind_mismatch(self):
+        unordered_schema = parse_schema("T = {(a -> U)*}; U = int")
+        assert not is_satisfiable(
+            parse_query("SELECT WHERE Root = [a -> X]"), unordered_schema
+        )
+        assert is_satisfiable(
+            parse_query("SELECT WHERE Root = {a -> X}"), unordered_schema
+        )
+
+
+class TestUnorderedInteraction:
+    def test_unordered_pattern_any_order(self):
+        schema = parse_schema("T = {a -> U . b -> U}; U = int")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = {b -> Y, a -> X}"), schema)
+
+    def test_unordered_overlap_on_single_edge(self):
+        # Only one a-edge exists, but set semantics lets both arms share it.
+        schema = parse_schema("T = {a -> U}; U = int")
+        query = parse_query("SELECT WHERE Root = {a -> X, a -> Y}")
+        assert is_satisfiable(query, schema)
+
+    def test_forced_overlap_with_conflicting_continuations(self):
+        # One a-edge; X needs value-int below b, Y needs value-string below b,
+        # and U has exactly one b edge to an int: overlap forces both
+        # continuations through the same node, which cannot be both.
+        schema = parse_schema("T = {a -> U}; U = {b -> I}; I = int")
+        query = parse_query(
+            'SELECT WHERE Root = {a.b -> X, a.b -> Y}; X = 1; Y = "s"'
+        )
+        assert not is_satisfiable(query, schema)
+
+    def test_forced_overlap_with_compatible_continuations(self):
+        schema = parse_schema("T = {a -> U}; U = {b -> I}; I = int")
+        query = parse_query("SELECT WHERE Root = {a.b -> X, a.b -> Y}; X = 1; Y = 1")
+        assert is_satisfiable(query, schema)
+
+    def test_overlap_escapes_through_wide_type(self):
+        # U has two b edges: continuations diverge below the shared a-edge.
+        schema = parse_schema("T = {a -> U}; U = {b -> I . b -> S}; I = int; S = string")
+        query = parse_query(
+            'SELECT WHERE Root = {a.b -> X, a.b -> Y}; X = 1; Y = "s"'
+        )
+        assert is_satisfiable(query, schema)
+
+    def test_homogeneous_collection(self):
+        schema = parse_schema("T = {(a -> U)*}; U = int")
+        query = parse_query("SELECT WHERE Root = {a -> X, a -> Y}; X = 1; Y = 2")
+        assert is_satisfiable(query, schema)
+
+
+class TestUnionTypes:
+    def test_untagged_union(self):
+        schema = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [a -> X]; X = 1"), schema)
+        assert is_satisfiable(
+            parse_query('SELECT WHERE Root = [a -> X]; X = "s"'), schema
+        )
+        assert not is_satisfiable(
+            parse_query("SELECT WHERE Root = [a -> X]; X = 1.5"), schema
+        )
+
+    def test_union_with_two_arms(self):
+        # A single word must contain both an int-a and a string-a.
+        schema = parse_schema(
+            "T = [(a -> I | a -> S)*]; I = int; S = string"
+        )
+        query = parse_query('SELECT WHERE Root = [a -> X, a -> Y]; X = 1; Y = "s"')
+        assert is_satisfiable(query, schema)
+        narrow = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        assert not is_satisfiable(query, narrow)
+
+
+class TestJoins:
+    def test_node_join_same_type_required(self):
+        schema = parse_schema(
+            "T = {x -> &U . y -> &U}; &U = string"
+        )
+        query = parse_query("SELECT WHERE Root = {x -> &X, y -> &X}")
+        assert is_satisfiable(query, schema)
+
+    def test_node_join_impossible_types(self):
+        schema = parse_schema("T = {x -> &U . y -> &V}; &U = string; &V = int")
+        query = parse_query("SELECT WHERE Root = {x -> &X, y -> &X}")
+        assert not is_satisfiable(query, schema)
+
+    def test_label_join(self):
+        schema = parse_schema("T = {a -> U . a -> U . b -> V}; U = int; V = int")
+        query = parse_query("SELECT WHERE Root = {$l -> X, $l -> Y}; X = 1; Y = 2")
+        # Two distinct edges with the same label exist (label a).
+        assert is_satisfiable(query, schema)
+
+    def test_label_join_unsatisfiable(self):
+        # All labels distinct and single; two distinct int leaves under one
+        # label are impossible, but overlap on one edge binds X=Y to the
+        # same node, still satisfying X=1,Y=1.
+        schema = parse_schema("T = {a -> U . b -> V}; U = int; V = int")
+        ok = parse_query("SELECT WHERE Root = {$l -> X, $l -> Y}; X = 1; Y = 1")
+        bad = parse_query("SELECT WHERE Root = {$l -> X, $l -> Y}; X = 1; Y = 2")
+        assert is_satisfiable(ok, schema)
+        assert not is_satisfiable(bad, schema)
+
+    def test_free_label_variable(self):
+        schema = parse_schema("T = {weird -> U}; U = int")
+        query = parse_query("SELECT $l WHERE Root = {$l -> X}")
+        assert is_satisfiable(query, schema)
+
+    def test_recursive_join_through_referenceable(self):
+        schema = parse_schema("&T = [(next -> &T)?]")
+        query = parse_query("SELECT WHERE &Root = [next -> &X]; &X = [next -> &Root]")
+        # Needs a cycle Root -> X -> Root; the schema allows cyclic instances.
+        assert is_satisfiable(query, schema)
+
+
+class TestPins:
+    def test_pin_restricts_types(self):
+        schema = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        query = parse_query("SELECT X WHERE Root = [a -> X]")
+        assert is_satisfiable(query, schema, pins={"X": "I"})
+        assert is_satisfiable(query, schema, pins={"X": "S"})
+        assert not is_satisfiable(query, schema, pins={"X": "T"})
+
+    def test_pin_value_var(self):
+        schema = parse_schema("T = [a -> I]; I = int")
+        query = parse_query("SELECT $v WHERE Root = [a -> X]; X = $v")
+        assert is_satisfiable(query, schema, pins={"$v": "int"})
+        assert not is_satisfiable(query, schema, pins={"$v": "string"})
+
+    def test_pin_label_var(self):
+        schema = parse_schema("T = {a -> U . b -> V}; U = int; V = string")
+        query = parse_query("SELECT $l WHERE Root = {$l -> X}; X = 3")
+        assert is_satisfiable(query, schema, pins={"$l": "a"})
+        assert not is_satisfiable(query, schema, pins={"$l": "b"})
+
+    def test_unknown_pin_type_rejected(self):
+        schema = parse_schema("T = [a -> I]; I = int")
+        query = parse_query("SELECT X WHERE Root = [a -> X]")
+        with pytest.raises(ValueError):
+            is_satisfiable(query, schema, pins={"X": "NOPE"})
+
+
+class TestReferenceability:
+    def test_referenceable_var_needs_referenceable_type(self):
+        schema = parse_schema("T = {a -> U . b -> U}; U = string")
+        query = parse_query("SELECT WHERE Root = {a -> &X, b -> &X}")
+        assert not is_satisfiable(query, schema)
+
+    def test_referenceable_ok(self):
+        schema = parse_schema("T = {a -> &U . b -> &U}; &U = string")
+        query = parse_query("SELECT WHERE Root = {a -> &X, b -> &X}")
+        assert is_satisfiable(query, schema)
+
+
+class TestDeepNesting:
+    def test_nested_pattern_tree(self):
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        query = parse_query(
+            "SELECT X2 WHERE Root = [paper -> X1];"
+            "X1 = [title -> T, author -> X2];"
+            "X2 = [name -> N, email -> E];"
+            "N = [firstname -> F, lastname -> L];"
+            'F = "John"'
+        )
+        assert is_satisfiable(query, schema)
+
+    def test_ordered_arms_need_distinct_first_edges_even_nested(self):
+        # AUTHOR has a single name edge; two ordered arms cannot share it
+        # (Definition 2.2: ordered paths have distinct, increasing first
+        # edges), so this variant is unsatisfiable.
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        query = parse_query(
+            "SELECT WHERE Root = [paper.author -> X2];"
+            "X2 = [name.firstname -> F, name.lastname -> L]"
+        )
+        assert not is_satisfiable(query, schema)
+
+    def test_nested_unsatisfiable_order(self):
+        schema = parse_schema(DOCUMENT_SCHEMA)
+        # lastname before firstname inside name violates the NAME type.
+        query = parse_query(
+            "SELECT WHERE Root = [paper.author.name -> X];"
+            "X = [lastname -> L, firstname -> F]"
+        )
+        assert not is_satisfiable(query, schema)

