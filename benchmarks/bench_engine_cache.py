@@ -1,0 +1,134 @@
+"""Engine benchmark — cold vs. warm compilation through the shared cache.
+
+The compilation engine (``repro.engine``) memoizes Thompson automata,
+content NFAs, reachability tables, and whole trace products behind
+hash-consed regexes and schema fingerprints.  This benchmark quantifies
+what that buys: each workload runs once against a *cold* engine (fresh
+``Engine`` every repetition, so every automaton is rebuilt) and once
+against a *warm* engine shared across repetitions.
+
+Acceptance shape: the repeated trace-product workload must be at least
+2x faster warm than cold, and the warm engine must record cache hits
+from both the conformance path (``content-nfa``) and the traces path
+(``trace-nfa`` / ``trace-product``).
+
+Run standalone for a human-readable report (including the engine's
+per-kind cache counters)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_cache.py
+"""
+
+import random
+import time
+
+from repro.automata.syntax import Sym, concat, star
+from repro.engine import Engine
+from repro.schema import conforms, parse_schema
+from repro.typing.traces import trace_product
+from repro.workloads import document_schema, random_instance
+
+REPEATS = 20
+
+QUERY_SCHEMA = """
+ROOT = [(paper -> PAPER)*];
+PAPER = [title -> TITLE . (author -> AUTHOR)*];
+TITLE = string;
+AUTHOR = string
+"""
+
+
+def _conformance_corpus():
+    """One document schema plus a fixed batch of conforming instances."""
+    schema = document_schema(2)
+    rng = random.Random(7)
+    graphs = [random_instance(schema, rng, max_depth=8) for _ in range(4)]
+    return schema, graphs
+
+
+_CORPUS_SCHEMA, _CORPUS_GRAPHS = _conformance_corpus()
+
+
+def _conformance_workload(engine):
+    """Validate the fixed instance batch; only validation is timed."""
+    for graph in _CORPUS_GRAPHS:
+        assert conforms(graph, _CORPUS_SCHEMA, engine)
+
+
+def _trace_product_workload(engine):
+    """The repeated-query pattern: the same flat patterns re-checked."""
+    schema = parse_schema(QUERY_SCHEMA)
+    patterns = [
+        (("ROOT",), (Sym("paper"),), (("PAPER",),)),
+        (("PAPER",), (Sym("title"),), (("TITLE",),)),
+        (("PAPER",), (Sym("author"),), (("AUTHOR",),)),
+        (
+            ("ROOT",),
+            (concat(Sym("paper"), Sym("title")), star(Sym("paper"))),
+            (("TITLE",), ("PAPER",)),
+        ),
+    ]
+    for root_types, arms, allowed in patterns:
+        product = trace_product(schema, root_types, arms, allowed, engine=engine)
+        assert product is not None
+
+
+def _time_cold(workload, repeats=REPEATS):
+    """Each repetition gets a fresh engine: nothing survives between runs."""
+    started = time.perf_counter()
+    for _ in range(repeats):
+        workload(Engine())
+    return time.perf_counter() - started
+
+
+def _time_warm(workload, repeats=REPEATS):
+    """One engine shared by every repetition; returns (seconds, engine)."""
+    engine = Engine()
+    started = time.perf_counter()
+    for _ in range(repeats):
+        workload(engine)
+    return time.perf_counter() - started, engine
+
+
+def test_trace_product_warm_speedup(benchmark):
+    """A warm engine beats cold recompilation by >=2x on repeated products."""
+    cold = _time_cold(_trace_product_workload)
+    warm, engine = _time_warm(_trace_product_workload)
+    benchmark.pedantic(
+        _trace_product_workload, args=(engine,), rounds=1, iterations=1
+    )
+    by_kind = engine.stats().by_kind
+    assert by_kind["trace-product"].hits > 0
+    assert by_kind["trace-nfa"].hits > 0
+    assert warm * 2 <= cold, f"warm={warm:.4f}s cold={cold:.4f}s"
+
+
+def test_conformance_warm_hits(benchmark):
+    """Repeated validation reuses content NFAs through the engine cache."""
+    cold = _time_cold(_conformance_workload, repeats=4)
+    warm, engine = _time_warm(_conformance_workload, repeats=4)
+    benchmark.pedantic(
+        _conformance_workload, args=(engine,), rounds=1, iterations=1
+    )
+    by_kind = engine.stats().by_kind
+    assert by_kind["content-nfa"].hits > 0
+    # Validation time is dominated by graph traversal, not compilation, so
+    # the warm win here is modest; only guard against a regression.
+    assert warm <= cold * 1.5, f"warm={warm:.4f}s cold={cold:.4f}s"
+
+
+def main():
+    for name, workload, repeats in [
+        ("conformance", _conformance_workload, 4),
+        ("trace-product", _trace_product_workload, REPEATS),
+    ]:
+        cold = _time_cold(workload, repeats)
+        warm, engine = _time_warm(workload, repeats)
+        speedup = cold / warm if warm else float("inf")
+        print(f"== {name} x{repeats} ==")
+        print(f"cold: {cold:.4f}s   warm: {warm:.4f}s   speedup: {speedup:.1f}x")
+        print(engine.stats())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 from ..automata.ops import union
 from ..automata.syntax import EMPTY, Regex
+from ..engine import Engine, get_default_engine
 from ..query.model import PatternArm, PatternDef, PatternKind, Query
 from ..schema.model import Schema
 from ..typing.inference import inferred_types_of
@@ -44,7 +45,9 @@ class UnsatisfiableQueryError(ValueError):
     """
 
 
-def feedback_query(query: Query, schema: Schema) -> Query:
+def feedback_query(
+    query: Query, schema: Schema, engine: Optional[Engine] = None
+) -> Query:
     """Compute the feedback query (Proposition 4.1).
 
     Raises:
@@ -53,19 +56,21 @@ def feedback_query(query: Query, schema: Schema) -> Query:
         ValueError: if the query has joins (the paper's construction is
             for join-free queries).
     """
+    if engine is None:
+        engine = get_default_engine()
     if not query.is_join_free():
         raise ValueError("feedback queries are defined for join-free queries")
-    checker = SatisfiabilityChecker(query, schema)
+    checker = SatisfiabilityChecker(query, schema, engine)
     if not checker.satisfiable({}):
         raise UnsatisfiableQueryError(
             "the query is unsatisfiable with respect to the schema"
         )
-    reach = SchemaReach(schema)
+    reach = engine.reach(schema)
     type_cache: Dict[str, List[str]] = {}
 
     def types_of(var: str) -> List[str]:
         if var not in type_cache:
-            type_cache[var] = inferred_types_of(query, schema, var)
+            type_cache[var] = inferred_types_of(query, schema, var, engine=engine)
         return type_cache[var]
 
     new_patterns: List[PatternDef] = []
@@ -76,7 +81,7 @@ def feedback_query(query: Query, schema: Schema) -> Query:
         if any(arm.is_label_var for arm in pattern.arms) or pattern.partial_order is not None:
             new_patterns.append(pattern)
             continue
-        tightened = _tighten_definition(pattern, query, schema, reach, types_of)
+        tightened = _tighten_definition(pattern, query, schema, reach, types_of, engine)
         new_patterns.append(tightened)
     return Query(query.select, new_patterns, validate=False)
 
@@ -87,6 +92,7 @@ def _tighten_definition(
     schema: Schema,
     reach: SchemaReach,
     types_of,
+    engine: Optional[Engine] = None,
 ) -> PatternDef:
     arms = [arm.path for arm in pattern.arms]
     allowed = [types_of(arm.target) for arm in pattern.arms]
@@ -98,7 +104,7 @@ def _tighten_definition(
         # the caller (the query as a whole was satisfiable, so this branch
         # indicates an unordered context handled elsewhere).
         return pattern
-    product = trace_product(schema, context_types, arms, allowed, reach)
+    product = trace_product(schema, context_types, arms, allowed, reach, engine)
     new_arms = []
     for index, arm in enumerate(pattern.arms, start=1):
         projected = segment_projection(product, index)

@@ -36,6 +36,7 @@ from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Sequen
 from ..automata.nfa import EPS, NFA
 from ..automata.syntax import Regex
 from ..data.model import DataGraph, Node
+from ..engine import Engine, get_default_engine
 from ..query.model import PatternKind, Query
 from ..schema.model import Schema
 from ..typing.reach import SchemaReach
@@ -164,14 +165,20 @@ class EvalResult:
 class NaiveEvaluator:
     """The baseline: depth-first exploration of every edge."""
 
-    def __init__(self, pattern: FlatPattern, graph: DataGraph, reach_alphabet=None):
+    def __init__(
+        self,
+        pattern: FlatPattern,
+        graph: DataGraph,
+        reach_alphabet=None,
+        engine: Optional[Engine] = None,
+    ):
         self.pattern = pattern
         self.adt = TraversalGraph(graph)
+        if engine is None:
+            engine = get_default_engine()
         alphabet = frozenset(graph.labels())
-        from ..automata.nfa import thompson
-
         self.nfas = [
-            thompson(arm, alphabet | frozenset(arm.symbols()))
+            engine.thompson(arm, alphabet | frozenset(arm.symbols()))
             for arm in pattern.arms
         ]
 
@@ -221,13 +228,19 @@ class AdaptiveEvaluator:
     only edges justified by the extension property.
     """
 
-    def __init__(self, pattern: FlatPattern, graph: DataGraph, schema: Schema):
+    def __init__(
+        self,
+        pattern: FlatPattern,
+        graph: DataGraph,
+        schema: Schema,
+        engine: Optional[Engine] = None,
+    ):
         self.pattern = pattern
         self.adt = TraversalGraph(graph)
         self.schema = schema
-        self.reach = SchemaReach(schema)
+        self.engine = engine if engine is not None else get_default_engine()
+        self.reach = self.engine.reach(schema)
         self.nfas = [self.reach.compile_path(arm) for arm in pattern.arms]
-        self._content_nfas: Dict[str, NFA] = {}
         self.matches: List[Match] = []
         # Seen matches per arm: set of root-child indexes.
         self._seen: List[Set[int]] = [set() for _ in pattern.arms]
@@ -236,22 +249,7 @@ class AdaptiveEvaluator:
     # -- content automata ------------------------------------------------
 
     def _content_nfa(self, tid: str) -> NFA:
-        if tid not in self._content_nfas:
-            nfa = self.schema.compile_regex(tid)
-            inhabited = self.schema.inhabited_types()
-            transitions = {}
-            for src, arcs in nfa.transitions.items():
-                kept = [
-                    (symbol, dst)
-                    for symbol, dst in arcs
-                    if symbol is EPS or symbol[1] in inhabited
-                ]
-                if kept:
-                    transitions[src] = kept
-            self._content_nfas[tid] = NFA(
-                nfa.n_states, nfa.alphabet, nfa.start, nfa.accepting, transitions
-            )
-        return self._content_nfas[tid]
+        return self.engine.restricted_content_nfa(self.schema, tid)
 
     def _completable(self, tid: str, states: FrozenSet[int]) -> bool:
         nfa = self._content_nfa(tid)

@@ -32,6 +32,7 @@ from typing import Dict, FrozenSet, List, NamedTuple, Optional, Sequence, Set, T
 
 from ..automata.syntax import EPSILON, Regex, Sym, alt, concat, star
 from ..data.model import DataGraph, Edge, Node, NodeKind
+from ..engine import Engine
 from ..query.eval import iterate_bindings
 from ..query.model import PatternKind, Query
 from ..schema.model import Schema, TypeDef, TypeKind
@@ -187,7 +188,9 @@ class TransformQuery:
 
 
 def infer_output_schema(
-    transform: TransformQuery, input_schema: Schema
+    transform: TransformQuery,
+    input_schema: Schema,
+    engine: Optional[Engine] = None,
 ) -> Schema:
     """Infer a schema describing all possible outputs (Section 4.3).
 
@@ -204,7 +207,7 @@ def infer_output_schema(
         raise ValueError(
             "output schema inference requires single-variable Skolem functions"
         )
-    checker = SatisfiabilityChecker(transform.where, input_schema)
+    checker = SatisfiabilityChecker(transform.where, input_schema, engine)
     signatures = transform.skolem_functions()
     kind = TypeKind.ORDERED if transform.ordered else TypeKind.UNORDERED
 
@@ -493,6 +496,7 @@ def check_transformation(
     transform: TransformQuery,
     input_schema: Schema,
     output_schema: Schema,
+    engine: Optional[Engine] = None,
 ) -> bool:
     """Transformation type checking (Section 4.3).
 
@@ -500,5 +504,5 @@ def check_transformation(
     ``input_schema`` conforms to ``output_schema``, decided soundly via
     subsumption of the inferred output schema.
     """
-    inferred = infer_output_schema(transform, input_schema)
-    return subsumes(inferred, output_schema)
+    inferred = infer_output_schema(transform, input_schema, engine)
+    return subsumes(inferred, output_schema, engine=engine)

@@ -50,21 +50,23 @@ def intersect(left: NFA, right: NFA) -> NFA:
     while queue:
         lq, rq = queue.pop()
         src = state_id((lq, rq))
-        moves: List[Tuple[object, Tuple[int, int]]] = []
+        # dict-as-ordered-set: parallel identical arcs in a source NFA would
+        # otherwise multiply into duplicate product transitions.
+        moves: Dict[Tuple[object, Tuple[int, int]], None] = {}
         for symbol, dst in left.arcs_from(lq):
             if symbol is EPS:
-                moves.append((EPS, (dst, rq)))
+                moves[(EPS, (dst, rq))] = None
         for symbol, dst in right.arcs_from(rq):
             if symbol is EPS:
-                moves.append((EPS, (lq, dst)))
-        for lsym, ldst in left.arcs_from(lq):
+                moves[(EPS, (lq, dst))] = None
+        for lsym, ldst in dict.fromkeys(left.arcs_from(lq)):
             if lsym is EPS:
                 continue
-            for rsym, rdst in right.arcs_from(rq):
+            for rsym, rdst in dict.fromkeys(right.arcs_from(rq)):
                 if rsym is EPS:
                     continue
                 if lsym == rsym:
-                    moves.append((lsym, (ldst, rdst)))
+                    moves[(lsym, (ldst, rdst))] = None
         for symbol, pair in moves:
             dst = state_id(pair)
             transitions.setdefault(src, []).append((symbol, dst))
@@ -80,7 +82,11 @@ def intersect(left: NFA, right: NFA) -> NFA:
 
 
 def union(left: NFA, right: NFA) -> NFA:
-    """Automaton accepting the union of the two languages."""
+    """Automaton accepting the union of the two languages.
+
+    Parallel identical arcs in either operand are collapsed to one arc in
+    the result (order-preserving dedupe per source state).
+    """
     alphabet = left.alphabet | right.alphabet
     offset = 1  # new start state is 0
     right_offset = offset + left.n_states
@@ -88,10 +94,12 @@ def union(left: NFA, right: NFA) -> NFA:
         0: [(EPS, left.start + offset), (EPS, right.start + right_offset)]
     }
     for src, arcs in left.transitions.items():
-        transitions[src + offset] = [(symbol, dst + offset) for symbol, dst in arcs]
+        transitions[src + offset] = [
+            (symbol, dst + offset) for symbol, dst in dict.fromkeys(arcs)
+        ]
     for src, arcs in right.transitions.items():
         transitions[src + right_offset] = [
-            (symbol, dst + right_offset) for symbol, dst in arcs
+            (symbol, dst + right_offset) for symbol, dst in dict.fromkeys(arcs)
         ]
     accepting = [q + offset for q in left.accepting]
     accepting += [q + right_offset for q in right.accepting]

@@ -18,6 +18,12 @@ and is modelled by a single reserved symbol (``OTHER``, introduced by callers).
 Construction goes through the smart constructors :func:`concat`, :func:`alt`,
 :func:`star`, which perform light simplification (identity and absorbing
 elements) so that printed regexes stay readable.
+
+Nodes are *hash-consed*: construction canonicalizes and interns, so two
+structurally equal expressions are the same object (``alt(a, b) is
+alt(a, b)``).  This makes regexes O(1) to hash and compare and lets the
+compilation engine (:mod:`repro.engine`) use them directly as cache keys.
+Every node carries a structural hash computed once at interning time.
 """
 
 from __future__ import annotations
@@ -33,19 +39,45 @@ from typing import (
     Sequence,
     Tuple,
 )
+from weakref import WeakValueDictionary
 
 Symbol = Hashable
+
+#: The hash-consing table: structural key -> the unique live node for it.
+#: Weak values let unreferenced expressions be collected; the engine cache
+#: holds strong references to whatever it still needs.
+_INTERN: "WeakValueDictionary" = WeakValueDictionary()
+
+
+def _interned(cls: type, key: Tuple, attrs: Tuple[Tuple[str, object], ...]) -> "Regex":
+    """Return the unique node for ``key``, creating and registering it once."""
+    node = _INTERN.get(key)
+    if node is None:
+        node = object.__new__(cls)
+        for name, value in attrs:
+            object.__setattr__(node, name, value)
+        object.__setattr__(node, "_hash", hash(key))
+        _INTERN[key] = node
+    return node
 
 
 class Regex:
     """Base class for regular-expression AST nodes.
 
-    Instances are immutable and hashable; equality is structural.  Use the
-    module-level smart constructors rather than instantiating ``Concat``/
-    ``Alt``/``Star`` directly when building expressions programmatically.
+    Instances are immutable, hash-consed, and hashable; equality is
+    structural and — thanks to interning — coincides with identity for
+    nodes built in the same process.  Use the module-level smart
+    constructors rather than instantiating ``Concat``/``Alt``/``Star``
+    directly when building expressions programmatically.
     """
 
     __slots__ = ()
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Regex nodes are immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("Regex nodes are immutable")
 
     def symbols(self) -> FrozenSet[Symbol]:
         """Return the set of concrete atoms occurring in the expression."""
@@ -93,6 +125,12 @@ class Empty(Regex):
     """The empty language (no words at all)."""
 
     __slots__ = ()
+    _instance: Optional["Empty"] = None
+
+    def __new__(cls) -> "Empty":
+        if cls._instance is None:
+            cls._instance = object.__new__(cls)
+        return cls._instance
 
     def symbols(self) -> FrozenSet[Symbol]:
         return frozenset()
@@ -107,7 +145,7 @@ class Empty(Regex):
         return self
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Empty)
+        return self is other or isinstance(other, Empty)
 
     def __hash__(self) -> int:
         return hash("Empty")
@@ -120,6 +158,12 @@ class Epsilon(Regex):
     """The language containing only the empty word."""
 
     __slots__ = ()
+    _instance: Optional["Epsilon"] = None
+
+    def __new__(cls) -> "Epsilon":
+        if cls._instance is None:
+            cls._instance = object.__new__(cls)
+        return cls._instance
 
     def symbols(self) -> FrozenSet[Symbol]:
         return frozenset()
@@ -134,7 +178,7 @@ class Epsilon(Regex):
         return self
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Epsilon)
+        return self is other or isinstance(other, Epsilon)
 
     def __hash__(self) -> int:
         return hash("Epsilon")
@@ -146,13 +190,10 @@ class Epsilon(Regex):
 class Sym(Regex):
     """A single concrete atom."""
 
-    __slots__ = ("symbol",)
+    __slots__ = ("symbol", "_hash", "__weakref__")
 
-    def __init__(self, symbol: Symbol):
-        object.__setattr__(self, "symbol", symbol)
-
-    def __setattr__(self, name: str, value: object) -> None:
-        raise AttributeError("Regex nodes are immutable")
+    def __new__(cls, symbol: Symbol) -> "Sym":
+        return _interned(cls, ("Sym", symbol), (("symbol", symbol),))
 
     def symbols(self) -> FrozenSet[Symbol]:
         return frozenset([self.symbol])
@@ -167,10 +208,10 @@ class Sym(Regex):
         return Sym(fn(self.symbol))
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Sym) and self.symbol == other.symbol
+        return self is other or (isinstance(other, Sym) and self.symbol == other.symbol)
 
     def __hash__(self) -> int:
-        return hash(("Sym", self.symbol))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Sym({self.symbol!r})"
@@ -184,6 +225,12 @@ class Any(Regex):
     """
 
     __slots__ = ()
+    _instance: Optional["Any"] = None
+
+    def __new__(cls) -> "Any":
+        if cls._instance is None:
+            cls._instance = object.__new__(cls)
+        return cls._instance
 
     def symbols(self) -> FrozenSet[Symbol]:
         return frozenset()
@@ -198,7 +245,7 @@ class Any(Regex):
         return self
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Any)
+        return self is other or isinstance(other, Any)
 
     def __hash__(self) -> int:
         return hash("Any")
@@ -210,13 +257,11 @@ class Any(Regex):
 class Concat(Regex):
     """Concatenation of two or more sub-expressions."""
 
-    __slots__ = ("parts",)
+    __slots__ = ("parts", "_hash", "__weakref__")
 
-    def __init__(self, parts: Sequence[Regex]):
-        object.__setattr__(self, "parts", tuple(parts))
-
-    def __setattr__(self, name: str, value: object) -> None:
-        raise AttributeError("Regex nodes are immutable")
+    def __new__(cls, parts: Sequence[Regex]) -> "Concat":
+        parts = tuple(parts)
+        return _interned(cls, ("Concat", parts), (("parts", parts),))
 
     def symbols(self) -> FrozenSet[Symbol]:
         return frozenset(itertools.chain.from_iterable(p.symbols() for p in self.parts))
@@ -234,10 +279,12 @@ class Concat(Regex):
         return self.parts
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Concat) and self.parts == other.parts
+        return self is other or (
+            isinstance(other, Concat) and self.parts == other.parts
+        )
 
     def __hash__(self) -> int:
-        return hash(("Concat", self.parts))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Concat({list(self.parts)!r})"
@@ -246,13 +293,11 @@ class Concat(Regex):
 class Alt(Regex):
     """Alternation (union) of two or more sub-expressions."""
 
-    __slots__ = ("parts",)
+    __slots__ = ("parts", "_hash", "__weakref__")
 
-    def __init__(self, parts: Sequence[Regex]):
-        object.__setattr__(self, "parts", tuple(parts))
-
-    def __setattr__(self, name: str, value: object) -> None:
-        raise AttributeError("Regex nodes are immutable")
+    def __new__(cls, parts: Sequence[Regex]) -> "Alt":
+        parts = tuple(parts)
+        return _interned(cls, ("Alt", parts), (("parts", parts),))
 
     def symbols(self) -> FrozenSet[Symbol]:
         return frozenset(itertools.chain.from_iterable(p.symbols() for p in self.parts))
@@ -270,10 +315,10 @@ class Alt(Regex):
         return self.parts
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Alt) and self.parts == other.parts
+        return self is other or (isinstance(other, Alt) and self.parts == other.parts)
 
     def __hash__(self) -> int:
-        return hash(("Alt", self.parts))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Alt({list(self.parts)!r})"
@@ -282,13 +327,10 @@ class Alt(Regex):
 class Star(Regex):
     """Kleene closure of a sub-expression."""
 
-    __slots__ = ("inner",)
+    __slots__ = ("inner", "_hash", "__weakref__")
 
-    def __init__(self, inner: Regex):
-        object.__setattr__(self, "inner", inner)
-
-    def __setattr__(self, name: str, value: object) -> None:
-        raise AttributeError("Regex nodes are immutable")
+    def __new__(cls, inner: Regex) -> "Star":
+        return _interned(cls, ("Star", inner), (("inner", inner),))
 
     def symbols(self) -> FrozenSet[Symbol]:
         return self.inner.symbols()
@@ -306,10 +348,10 @@ class Star(Regex):
         return (self.inner,)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Star) and self.inner == other.inner
+        return self is other or (isinstance(other, Star) and self.inner == other.inner)
 
     def __hash__(self) -> int:
-        return hash(("Star", self.inner))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Star({self.inner!r})"

@@ -202,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Type inference for queries on semistructured data "
         "(Milo & Suciu, PODS 1999)",
     )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the compilation-engine cache counters after the command",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     validate = commands.add_parser("validate", help="validate data against a schema")
@@ -281,7 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    status = args.handler(args)
+    if getattr(args, "cache_stats", False):
+        from .engine import get_default_engine
+
+        print(get_default_engine().stats(), file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,22 @@
+"""The shared compilation engine (see ``docs/architecture.md``).
+
+Hash-consed regexes (:mod:`repro.automata.syntax`) and schema
+fingerprints (:meth:`repro.schema.model.Schema.fingerprint`) give every
+automata construction a cheap, stable cache key; :class:`Engine` memoizes
+the constructions behind those keys in a bounded, instrumented
+:class:`EngineCache`.  Every layer of the package accepts an optional
+``engine=`` handle and falls back to the module default returned by
+:func:`get_default_engine`.
+"""
+
+from .cache import CacheStats, EngineCache, KindStats
+from .core import Engine, get_default_engine, set_default_engine
+
+__all__ = [
+    "CacheStats",
+    "Engine",
+    "EngineCache",
+    "KindStats",
+    "get_default_engine",
+    "set_default_engine",
+]

@@ -1,0 +1,171 @@
+"""The shared compilation engine: compile-once / reuse-many automata.
+
+Every algorithm in this reproduction — conformance (Definition 2.1), the
+traces technique (Section 3.4), the feedback queries and the adaptive
+optimizer (Section 4) — bottoms out in the same automata constructions:
+Thompson compilation, schema-graph reachability, content-model
+restriction, trace products.  :class:`Engine` is the single place those
+constructions happen; results are memoized in an :class:`EngineCache`
+keyed on schema fingerprints and hash-consed regexes, so repeated calls
+from any layer (or from different layers on equal inputs) reuse one
+compiled artifact.
+
+A module-level default engine backs every public API that does not pass
+an explicit ``engine=`` handle, which is why all pre-engine call sites
+keep working unchanged — and get the caching for free.
+
+This module deliberately imports only the ``automata`` layer at module
+scope; everything above it (schemas, reachability) is imported lazily
+inside methods so that consumer modules may import the engine at module
+scope without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..automata.nfa import NFA, thompson as _thompson
+from ..automata.syntax import Regex, Symbol
+from .cache import CacheStats, EngineCache
+
+
+class Engine:
+    """A handle bundling a memoizing cache with the automata constructions.
+
+    Construct one per long-lived server (or share the module default);
+    pass it via the ``engine=`` parameter that every consumer API accepts.
+    All artifacts an engine returns are treated as immutable by every
+    consumer in this package — callers adding their own uses must copy
+    before mutating.
+    """
+
+    def __init__(self, cache: Optional[EngineCache] = None, max_entries: Optional[int] = 4096):
+        self.cache = cache if cache is not None else EngineCache(max_entries)
+
+    # ------------------------------------------------------------------
+    # Generic regex compilation
+    # ------------------------------------------------------------------
+
+    def thompson(self, regex: Regex, alphabet: Iterable[Symbol]) -> NFA:
+        """Memoized Thompson construction.
+
+        Hash-consed regexes make the ``(regex, alphabet)`` key O(1) to
+        hash; equal regexes compiled against equal alphabets share one NFA
+        no matter where in the stack the request originates.
+        """
+        alphabet = frozenset(alphabet)
+        key = ("thompson", regex, alphabet)
+        return self.cache.get_or_compute(key, lambda: _thompson(regex, alphabet))
+
+    # ------------------------------------------------------------------
+    # Per-schema derived data (keyed on the schema fingerprint)
+    # ------------------------------------------------------------------
+
+    def symbol_alphabet(self, schema) -> FrozenSet[Tuple[str, str]]:
+        """The schema's ``(label, tid)`` alphabet, computed once."""
+        key = ("schema-alphabet", schema.fingerprint())
+        return self.cache.get_or_compute(key, schema.symbol_alphabet)
+
+    def content_nfa(self, schema, tid: str) -> NFA:
+        """The content NFA of collection type ``tid`` over the schema alphabet."""
+        key = ("content-nfa", schema.fingerprint(), tid)
+
+        def build() -> NFA:
+            type_def = schema.type(tid)
+            if type_def.regex is None:
+                from ..schema.model import SchemaError
+
+                raise SchemaError(f"type {tid!r} is atomic and has no regex")
+            return _thompson(type_def.regex, self.symbol_alphabet(schema))
+
+        return self.cache.get_or_compute(key, build)
+
+    def restricted_content_nfa(self, schema, tid: str) -> NFA:
+        """The content NFA of ``tid`` with arcs to uninhabited targets dropped.
+
+        This is the automaton every instance-level argument runs on (a
+        conforming instance can only realize inhabited child types); it is
+        what conformance support checks, the satisfiability word search,
+        the trace construction, and the adaptive optimizer all consumed —
+        each building its own copy before this engine existed.
+        """
+        key = ("restricted-content-nfa", schema.fingerprint(), tid)
+
+        def build() -> NFA:
+            from ..schema.model import _restrict_to_targets
+
+            return _restrict_to_targets(
+                self.content_nfa(schema, tid), self.inhabited_types(schema)
+            )
+
+        return self.cache.get_or_compute(key, build)
+
+    def inhabited_types(self, schema) -> FrozenSet[str]:
+        """Type ids with at least one finite conforming instance."""
+        key = ("inhabited", schema.fingerprint())
+
+        def build() -> FrozenSet[str]:
+            from ..schema.model import _compute_inhabited
+
+            return _compute_inhabited(schema, self)
+
+        return self.cache.get_or_compute(key, build)
+
+    def possible_edges(self, schema):
+        """The schema graph Γ(S): per type, the realizable ``(label, tid)`` pairs."""
+        key = ("possible-edges", schema.fingerprint())
+
+        def build():
+            from ..schema.model import _compute_possible_edges
+
+            return _compute_possible_edges(schema, self)
+
+        return self.cache.get_or_compute(key, build)
+
+    def reach(self, schema):
+        """A :class:`repro.typing.reach.SchemaReach` shared per schema.
+
+        All consumers handed the same engine share one reachability
+        object (and therefore its product-completion caches) for equal
+        schemas.
+        """
+        key = ("reach", schema.fingerprint())
+
+        def build():
+            from ..typing.reach import SchemaReach
+
+            return SchemaReach(schema, engine=self)
+
+        return self.cache.get_or_compute(key, build)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the underlying cache counters."""
+        return self.cache.stats()
+
+    def __repr__(self) -> str:
+        return f"Engine({self.cache!r})"
+
+
+#: The process-wide default engine used whenever ``engine=None``.
+_default_engine = Engine()
+
+
+def get_default_engine() -> Engine:
+    """The module-level default engine (shared by all default-argument calls)."""
+    return _default_engine
+
+
+def set_default_engine(engine: Engine) -> Engine:
+    """Replace the default engine; returns the previous one.
+
+    Useful for long-running services that want a custom LRU bound, and
+    for tests that need isolated counters.
+    """
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous

@@ -26,9 +26,10 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
-from ..automata.nfa import NFA, thompson
+from ..automata.nfa import NFA
 from ..automata.syntax import Regex
 from ..data.model import AtomicValue, DataGraph
+from ..engine import Engine, get_default_engine
 from .model import LabelVar, PatternDef, PatternKind, Query
 
 #: A binding: node vars map to oids, ``$``-prefixed label/value variables
@@ -39,18 +40,15 @@ Binding = Dict[str, Union[str, AtomicValue]]
 class _PathMatcher:
     """Finds regex-path matches from graph nodes, memoized per regex."""
 
-    def __init__(self, graph: DataGraph):
+    def __init__(self, graph: DataGraph, engine: Optional[Engine] = None):
         self.graph = graph
+        self.engine = engine if engine is not None else get_default_engine()
         self.alphabet = frozenset(graph.labels())
-        self._compiled: Dict[Regex, NFA] = {}
         # cache[(regex, oid)] = mapping first-edge-index -> set of end oids
         self._cache: Dict[Tuple[Regex, str], Dict[int, FrozenSet[str]]] = {}
 
     def _nfa(self, regex: Regex) -> NFA:
-        if regex not in self._compiled:
-            alphabet = self.alphabet | frozenset(regex.symbols())
-            self._compiled[regex] = thompson(regex, alphabet)
-        return self._compiled[regex]
+        return self.engine.thompson(regex, self.alphabet | frozenset(regex.symbols()))
 
     def matches(self, regex: Regex, oid: str) -> Dict[int, FrozenSet[str]]:
         """All ways a path from ``oid`` matches ``regex``.
@@ -99,7 +97,10 @@ class _PathMatcher:
 
 
 def evaluate(
-    query: Query, graph: DataGraph, limit: Optional[int] = None
+    query: Query,
+    graph: DataGraph,
+    limit: Optional[int] = None,
+    engine: Optional[Engine] = None,
 ) -> List[Binding]:
     """Evaluate ``query`` on ``graph``; return the projected bindings.
 
@@ -113,7 +114,7 @@ def evaluate(
     """
     results: List[Binding] = []
     seen: Set[Tuple] = set()
-    for binding in iterate_bindings(query, graph):
+    for binding in iterate_bindings(query, graph, engine):
         projected = {name: binding[name] for name in query.select}
         key = tuple(sorted(projected.items()))
         if key in seen:
@@ -125,21 +126,25 @@ def evaluate(
     return results
 
 
-def satisfies(query: Query, graph: DataGraph) -> bool:
+def satisfies(
+    query: Query, graph: DataGraph, engine: Optional[Engine] = None
+) -> bool:
     """True if the query has at least one binding on the graph."""
-    for _binding in iterate_bindings(query, graph):
+    for _binding in iterate_bindings(query, graph, engine):
         return True
     return False
 
 
-def iterate_bindings(query: Query, graph: DataGraph) -> Iterator[Binding]:
+def iterate_bindings(
+    query: Query, graph: DataGraph, engine: Optional[Engine] = None
+) -> Iterator[Binding]:
     """Yield all full bindings of the query on the graph (Definition 2.3).
 
     Bindings include every node, label, and value variable.  The same full
     binding may be yielded once per distinct witness-path combination; use
     :func:`evaluate` for deduplicated, projected results.
     """
-    matcher = _PathMatcher(graph)
+    matcher = _PathMatcher(graph, engine)
     ordered_defs = _definition_order(query)
     root_binding: Binding = {query.root_var: graph.root}
     if query.root_var.startswith("&") and not graph.root_node.is_referenceable:

@@ -30,13 +30,16 @@ from ..automata.bag import bag_run_groups
 from ..automata.nfa import NFA
 from ..automata.ops import run_with_choices
 from ..data.model import DataGraph, Node
+from ..engine import Engine, get_default_engine
 from .model import Schema, TypeDef, atomic_matches
 
 #: A candidate map: oid -> set of admissible type ids.
 Domains = Dict[str, FrozenSet[str]]
 
 
-def candidate_types(graph: DataGraph, schema: Schema) -> Domains:
+def candidate_types(
+    graph: DataGraph, schema: Schema, engine: Optional[Engine] = None
+) -> Domains:
     """Arc-consistent candidate-type sets for every node.
 
     Starts from kind/value/referenceability-compatible candidates (with the
@@ -45,12 +48,11 @@ def candidate_types(graph: DataGraph, schema: Schema) -> Domains:
     a fixpoint.  A node whose set ends up empty cannot be typed; if the
     root's set is empty the graph does not conform.
     """
-    compiled: Dict[str, NFA] = {}
+    if engine is None:
+        engine = get_default_engine()
 
     def automaton(tid: str) -> NFA:
-        if tid not in compiled:
-            compiled[tid] = schema.compile_regex(tid)
-        return compiled[tid]
+        return engine.content_nfa(schema, tid)
 
     domains: Dict[str, Set[str]] = {}
     for node in graph:
@@ -133,7 +135,7 @@ def _has_support(node: Node, nfa: NFA, domains: Dict[str, Set[str]]) -> bool:
 
 
 def find_type_assignment(
-    graph: DataGraph, schema: Schema
+    graph: DataGraph, schema: Schema, engine: Optional[Engine] = None
 ) -> Optional[Dict[str, str]]:
     """Return a full type assignment ``oid -> tid``, or None.
 
@@ -143,7 +145,7 @@ def find_type_assignment(
     node.  The search is exponential only in the number of referenceable
     nodes — conformance for tree data (e.g. XML documents) never backtracks.
     """
-    domains = candidate_types(graph, schema)
+    domains = candidate_types(graph, schema, engine)
     if not domains[graph.root]:
         return None
     referenceable = [
@@ -159,7 +161,7 @@ def find_type_assignment(
         for combo in itertools.product(*candidate_lists):
             fixed = dict(zip(referenceable, combo))
             fixed[graph.root] = root_tid
-            assignment = _try_extend(graph, schema, domains, fixed)
+            assignment = _try_extend(graph, schema, domains, fixed, engine)
             if assignment is not None:
                 return assignment
     return None
@@ -170,6 +172,7 @@ def _try_extend(
     schema: Schema,
     domains: Domains,
     fixed: Dict[str, str],
+    engine: Optional[Engine] = None,
 ) -> Optional[Dict[str, str]]:
     """Extend a choice for the referenceable nodes to a full assignment.
 
@@ -179,12 +182,11 @@ def _try_extend(
     then processed recursively.  Returns None as soon as some node admits
     no witness run under the fixed choices.
     """
-    compiled: Dict[str, NFA] = {}
+    if engine is None:
+        engine = get_default_engine()
 
     def automaton(tid: str) -> NFA:
-        if tid not in compiled:
-            compiled[tid] = schema.compile_regex(tid)
-        return compiled[tid]
+        return engine.content_nfa(schema, tid)
 
     assignment: Dict[str, str] = dict(fixed)
     pending = list(fixed)
@@ -249,13 +251,18 @@ def _try_extend(
     return assignment
 
 
-def conforms(graph: DataGraph, schema: Schema) -> bool:
+def conforms(
+    graph: DataGraph, schema: Schema, engine: Optional[Engine] = None
+) -> bool:
     """True if ``graph`` conforms to ``schema`` (Definition 2.1)."""
-    return find_type_assignment(graph, schema) is not None
+    return find_type_assignment(graph, schema, engine) is not None
 
 
 def verify_assignment(
-    graph: DataGraph, schema: Schema, assignment: Dict[str, str]
+    graph: DataGraph,
+    schema: Schema,
+    assignment: Dict[str, str],
+    engine: Optional[Engine] = None,
 ) -> bool:
     """Check a full type assignment against Definition 2.1 directly.
 
@@ -280,7 +287,7 @@ def verify_assignment(
             return False
         if any(edge.target not in assignment for edge in node.edges):
             return False
-        nfa = schema.compile_regex(tid)
+        nfa = schema.compile_regex(tid, engine)
         typed_edges = [
             (edge.label, assignment[edge.target]) for edge in node.edges
         ]

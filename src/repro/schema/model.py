@@ -22,7 +22,10 @@ edges ``T --(a)--> T'`` that can occur in some instance, restricted to
 from __future__ import annotations
 
 import enum
+import hashlib
+from types import MappingProxyType
 from typing import (
+    TYPE_CHECKING,
     Dict,
     FrozenSet,
     Iterable,
@@ -39,9 +42,11 @@ from ..automata import (
     Regex,
     Sym,
     homogeneous_alternatives,
-    thompson,
 )
 from ..data.model import AtomicValue
+
+if TYPE_CHECKING:  # pragma: no cover - the engine imports this module lazily
+    from ..engine import Engine
 
 
 class TypeKind(enum.Enum):
@@ -79,6 +84,10 @@ class TypeDef:
     For atomic types, ``atomic`` names the base domain.  For collection
     types, ``regex`` is a regular expression whose atoms are
     ``(label, tid)`` tuples.
+
+    Definitions are immutable after construction: they are ingredients of
+    :meth:`Schema.fingerprint`, so in-place mutation would silently
+    invalidate every cache entry keyed on the fingerprint.
     """
 
     __slots__ = ("tid", "kind", "atomic", "regex")
@@ -111,10 +120,19 @@ class TypeDef:
                     )
             if regex.has_wildcard():
                 raise ValueError(f"type {tid!r}: wildcards are not allowed in schemas")
-        self.tid = tid
-        self.kind = kind
-        self.atomic = atomic
-        self.regex = regex
+        object.__setattr__(self, "tid", tid)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "atomic", atomic)
+        object.__setattr__(self, "regex", regex)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"TypeDef is immutable (attempted to set {name!r}); "
+            "build a new definition instead"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("TypeDef is immutable")
 
     @property
     def is_referenceable(self) -> bool:
@@ -182,22 +200,34 @@ class Schema:
             defined and that every type is inhabited by some finite instance.
     """
 
-    __slots__ = ("types", "root", "_edges_cache", "_inhabited_cache")
+    __slots__ = ("types", "root", "_fingerprint", "_edges_cache", "_inhabited_cache")
 
     def __init__(self, types: Iterable[TypeDef], validate: bool = True):
         type_list = list(types)
         if not type_list:
             raise SchemaError("a schema needs at least one type definition")
-        self.types: Dict[str, TypeDef] = {}
+        self._fingerprint: Optional[str] = None
+        types_map: Dict[str, TypeDef] = {}
         for type_def in type_list:
-            if type_def.tid in self.types:
+            if type_def.tid in types_map:
                 raise SchemaError(f"type {type_def.tid!r} defined more than once")
-            self.types[type_def.tid] = type_def
+            types_map[type_def.tid] = type_def
+        self.types: Dict[str, TypeDef] = types_map
         self.root = type_list[0].tid
         self._edges_cache: Optional[Dict[str, FrozenSet[Tuple[str, str]]]] = None
         self._inhabited_cache: Optional[FrozenSet[str]] = None
         if validate:
             self._validate()
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # Once fingerprinted, the schema may be used as a cache key, so its
+        # observable state is frozen.  Private caches stay rebindable.
+        if not name.startswith("_") and getattr(self, "_fingerprint", None) is not None:
+            raise SchemaError(
+                f"schema is frozen: it was fingerprinted and may back cache "
+                f"entries (attempted to set {name!r})"
+            )
+        object.__setattr__(self, name, value)
 
     def _validate(self) -> None:
         for type_def in self.types.values():
@@ -244,12 +274,42 @@ class Schema:
             result.update(type_def.symbols())
         return frozenset(result)
 
-    def compile_regex(self, tid: str) -> NFA:
-        """Compile the regex of a collection type over the schema alphabet."""
-        type_def = self.types[tid]
-        if type_def.regex is None:
-            raise SchemaError(f"type {tid!r} is atomic and has no regex")
-        return thompson(type_def.regex, self.symbol_alphabet())
+    def fingerprint(self) -> str:
+        """A stable content hash of this schema, usable as a cache key.
+
+        Equal schemas (same root, same definitions, in any order) share a
+        fingerprint across processes: it is a SHA-1 of a deterministic
+        rendering of the sorted type definitions, independent of
+        ``PYTHONHASHSEED``.  The first call freezes the schema — public
+        attributes become immutable and ``types`` is wrapped read-only —
+        because cache entries keyed on the fingerprint would go stale if
+        the schema changed afterwards.
+        """
+        if self._fingerprint is None:
+            payload = repr(
+                (
+                    self.root,
+                    sorted(
+                        (t.tid, t.kind.value, t.atomic, repr(t.regex))
+                        for t in self.types.values()
+                    ),
+                )
+            )
+            object.__setattr__(self, "types", MappingProxyType(dict(self.types)))
+            self._fingerprint = hashlib.sha1(payload.encode("utf-8")).hexdigest()
+        return self._fingerprint
+
+    def compile_regex(self, tid: str, engine: Optional["Engine"] = None) -> NFA:
+        """Compile the regex of a collection type over the schema alphabet.
+
+        The compiled NFA is memoized by the engine under
+        ``("content-nfa", fingerprint, tid)`` — callers must not mutate it.
+        """
+        if engine is None:
+            from ..engine import get_default_engine
+
+            engine = get_default_engine()
+        return engine.content_nfa(self, tid)
 
     # ------------------------------------------------------------------
     # Classification (the Table-2 schema restrictions)
@@ -311,7 +371,7 @@ class Schema:
     # Inhabitation and the schema graph Γ(S)
     # ------------------------------------------------------------------
 
-    def inhabited_types(self) -> FrozenSet[str]:
+    def inhabited_types(self, engine: Optional["Engine"] = None) -> FrozenSet[str]:
         """Type ids with at least one finite conforming instance.
 
         Least fixpoint: atomic types are inhabited; a collection type is
@@ -320,25 +380,14 @@ class Schema:
         """
         if self._inhabited_cache is not None:
             return self._inhabited_cache
-        inhabited: Set[str] = {t.tid for t in self if t.is_atomic}
-        changed = True
-        compiled = {
-            t.tid: self.compile_regex(t.tid) for t in self if not t.is_atomic
-        }
-        while changed:
-            changed = False
-            for type_def in self:
-                if type_def.tid in inhabited or type_def.is_atomic:
-                    continue
-                nfa = compiled[type_def.tid]
-                restricted = _restrict_to_targets(nfa, inhabited)
-                if not restricted.is_empty():
-                    inhabited.add(type_def.tid)
-                    changed = True
-        self._inhabited_cache = frozenset(inhabited)
+        if engine is None:
+            from ..engine import get_default_engine
+
+            engine = get_default_engine()
+        self._inhabited_cache = engine.inhabited_types(self)
         return self._inhabited_cache
 
-    def inhabitation_ranks(self) -> Dict[str, int]:
+    def inhabitation_ranks(self, engine: Optional["Engine"] = None) -> Dict[str, int]:
         """Fixpoint round at which each inhabited type gained an instance.
 
         Atomic types have rank 0; a collection type of rank ``r`` accepts
@@ -349,7 +398,7 @@ class Schema:
         """
         ranks: Dict[str, int] = {t.tid: 0 for t in self if t.is_atomic}
         compiled = {
-            t.tid: self.compile_regex(t.tid) for t in self if not t.is_atomic
+            t.tid: self.compile_regex(t.tid, engine) for t in self if not t.is_atomic
         }
         round_index = 0
         changed = True
@@ -366,7 +415,9 @@ class Schema:
                     changed = True
         return ranks
 
-    def possible_edges(self) -> Dict[str, FrozenSet[Tuple[str, str]]]:
+    def possible_edges(
+        self, engine: Optional["Engine"] = None
+    ) -> Dict[str, FrozenSet[Tuple[str, str]]]:
         """The schema graph Γ(S): for each type, the ``(label, tid)`` pairs
         that occur in some instance of that type.
 
@@ -375,21 +426,16 @@ class Schema:
         """
         if self._edges_cache is not None:
             return self._edges_cache
-        inhabited = self.inhabited_types()
-        result: Dict[str, FrozenSet[Tuple[str, str]]] = {}
-        for type_def in self:
-            if type_def.is_atomic:
-                result[type_def.tid] = frozenset()
-                continue
-            nfa = self.compile_regex(type_def.tid)
-            restricted = _restrict_to_targets(nfa, inhabited)
-            result[type_def.tid] = frozenset(restricted.useful_symbols())
-        self._edges_cache = result
+        if engine is None:
+            from ..engine import get_default_engine
+
+            engine = get_default_engine()
+        self._edges_cache = engine.possible_edges(self)
         return self._edges_cache
 
-    def reachable_types(self) -> FrozenSet[str]:
+    def reachable_types(self, engine: Optional["Engine"] = None) -> FrozenSet[str]:
         """Types reachable from the root through Γ(S)."""
-        edges = self.possible_edges()
+        edges = self.possible_edges(engine)
         seen = {self.root}
         stack = [self.root]
         while stack:
@@ -410,6 +456,39 @@ class Schema:
 
     def __repr__(self) -> str:
         return f"Schema(root={self.root!r}, types={len(self.types)})"
+
+
+def _compute_inhabited(schema: Schema, engine: "Engine") -> FrozenSet[str]:
+    """Least-fixpoint inhabitation check (the body behind ``inhabited_types``)."""
+    inhabited: Set[str] = {t.tid for t in schema if t.is_atomic}
+    compiled = {
+        t.tid: engine.content_nfa(schema, t.tid) for t in schema if not t.is_atomic
+    }
+    changed = True
+    while changed:
+        changed = False
+        for type_def in schema:
+            if type_def.tid in inhabited or type_def.is_atomic:
+                continue
+            restricted = _restrict_to_targets(compiled[type_def.tid], inhabited)
+            if not restricted.is_empty():
+                inhabited.add(type_def.tid)
+                changed = True
+    return frozenset(inhabited)
+
+
+def _compute_possible_edges(
+    schema: Schema, engine: "Engine"
+) -> Dict[str, FrozenSet[Tuple[str, str]]]:
+    """The schema-graph body behind ``possible_edges``."""
+    result: Dict[str, FrozenSet[Tuple[str, str]]] = {}
+    for type_def in schema:
+        if type_def.is_atomic:
+            result[type_def.tid] = frozenset()
+            continue
+        restricted = engine.restricted_content_nfa(schema, type_def.tid)
+        result[type_def.tid] = frozenset(restricted.useful_symbols())
+    return result
 
 
 def _restrict_to_targets(nfa: NFA, allowed_targets: Set[str]) -> NFA:

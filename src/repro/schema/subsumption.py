@@ -28,14 +28,19 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from ..automata.nfa import NFA, thompson
+from ..automata.nfa import NFA
 from ..automata.ops import is_subset, relabel
 from ..automata.syntax import Regex
+from ..engine import Engine, get_default_engine
 from .model import Schema, TypeDef
 
 
-def simulation(schema1: Schema, schema2: Schema) -> FrozenSet[Tuple[str, str]]:
+def simulation(
+    schema1: Schema, schema2: Schema, engine: Optional[Engine] = None
+) -> FrozenSet[Tuple[str, str]]:
     """The greatest simulation relation between the two schemas' type ids."""
+    if engine is None:
+        engine = get_default_engine()
     pairs: Set[Tuple[str, str]] = set()
     for t1 in schema1:
         for t2 in schema2:
@@ -49,7 +54,7 @@ def simulation(schema1: Schema, schema2: Schema) -> FrozenSet[Tuple[str, str]]:
             t2 = schema2.type(pair[1])
             if t1.is_atomic:
                 continue
-            if not _language_simulated(t1, t2, schema1, schema2, pairs):
+            if not _language_simulated(t1, t2, schema1, schema2, pairs, engine):
                 pairs.discard(pair)
                 changed = True
     return frozenset(pairs)
@@ -69,6 +74,7 @@ def _language_simulated(
     schema1: Schema,
     schema2: Schema,
     pairs: Set[Tuple[str, str]],
+    engine: Optional[Engine] = None,
 ) -> bool:
     """Check lang(R_T1) ⊆ lang(R_T2) up to the candidate relation.
 
@@ -80,8 +86,10 @@ def _language_simulated(
     For unordered types this tests ordered-language containment, which
     soundly implies unordered-language containment.
     """
+    if engine is None:
+        engine = get_default_engine()
     left_alphabet = t1.symbols()
-    left = thompson(t1.regex, left_alphabet)
+    left = engine.thompson(t1.regex, left_alphabet)
 
     # For each right atom (a, U'), the left atoms (a, U) it may stand for.
     related_left: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
@@ -100,8 +108,10 @@ def _language_simulated(
             return EMPTY
         return alt(*(Sym(option) for option in options))
 
+    # Hash-consing makes the relaxed regex a cheap cache key, so repeated
+    # fixpoint rounds that relax to the same regex reuse one compiled NFA.
     relaxed_regex = _substitute(t2.regex, relax)
-    right = thompson(relaxed_regex, left_alphabet)
+    right = engine.thompson(relaxed_regex, left_alphabet)
     return is_subset(left, right)
 
 
@@ -135,7 +145,12 @@ def _substitute(regex: Regex, fn) -> Regex:
     raise TypeError(f"unknown regex node: {regex!r}")
 
 
-def subsumes(schema1: Schema, schema2: Schema, functional: bool = False) -> bool:
+def subsumes(
+    schema1: Schema,
+    schema2: Schema,
+    functional: bool = False,
+    engine: Optional[Engine] = None,
+) -> bool:
     """Decide ``S1 ⊑ S2`` (every instance of S1 conforms to S2).
 
     Args:
@@ -146,18 +161,19 @@ def subsumes(schema1: Schema, schema2: Schema, functional: bool = False) -> bool
             positive answer sound for instances with shared referenceable
             nodes (not just tree instances).
     """
-    relation = simulation(schema1, schema2)
+    relation = simulation(schema1, schema2, engine)
     if (schema1.root, schema2.root) not in relation:
         return False
     if not functional:
         return True
-    return _functional_refinement(schema1, schema2, relation) is not None
+    return _functional_refinement(schema1, schema2, relation, engine) is not None
 
 
 def _functional_refinement(
     schema1: Schema,
     schema2: Schema,
     relation: FrozenSet[Tuple[str, str]],
+    engine: Optional[Engine] = None,
 ) -> Optional[Dict[str, str]]:
     """Search for a type function consistent with the simulation."""
     images: Dict[str, List[str]] = {}
@@ -177,13 +193,16 @@ def _functional_refinement(
         mapping = dict(zip(relevant, combo))
         if mapping.get(schema1.root) != schema2.root:
             continue
-        if _function_is_simulation(schema1, schema2, mapping):
+        if _function_is_simulation(schema1, schema2, mapping, engine):
             return mapping
     return None
 
 
 def _function_is_simulation(
-    schema1: Schema, schema2: Schema, mapping: Dict[str, str]
+    schema1: Schema,
+    schema2: Schema,
+    mapping: Dict[str, str],
+    engine: Optional[Engine] = None,
 ) -> bool:
     pairs = {(t1, t2) for t1, t2 in mapping.items() if t2 != "*none*"}
     for t1_id, t2_id in pairs:
@@ -193,6 +212,6 @@ def _function_is_simulation(
             return False
         if t1.is_atomic:
             continue
-        if not _language_simulated(t1, t2, schema1, schema2, pairs):
+        if not _language_simulated(t1, t2, schema1, schema2, pairs, engine):
             return False
     return True

@@ -13,13 +13,17 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
+from ..engine import Engine
 from ..query.model import Query
 from ..schema.model import ATOMIC_TYPE_NAMES, Schema
 from .satisfiability import Pins, SatisfiabilityChecker
 
 
 def infer_types(
-    query: Query, schema: Schema, extra_pins: Optional[Pins] = None
+    query: Query,
+    schema: Schema,
+    extra_pins: Optional[Pins] = None,
+    engine: Optional[Engine] = None,
 ) -> List[Pins]:
     """All satisfiable SELECT-variable assignments, in lexicographic order.
 
@@ -27,7 +31,7 @@ def infer_types(
     type names, label variables (``$l``) labels.  ``extra_pins`` fixes
     additional variables up front (useful for interactive exploration).
     """
-    return list(iterate_inferred_types(query, schema, extra_pins))
+    return list(iterate_inferred_types(query, schema, extra_pins, engine))
 
 
 def inferred_types_of(
@@ -35,6 +39,7 @@ def inferred_types_of(
     schema: Schema,
     var: str,
     extra_pins: Optional[Pins] = None,
+    engine: Optional[Engine] = None,
 ) -> List[str]:
     """The types (or labels / atomic names) variable ``var`` can take.
 
@@ -42,7 +47,7 @@ def inferred_types_of(
     clause; the result is the set of values ``v`` such that pinning
     ``var = v`` (on top of ``extra_pins``) leaves the query satisfiable.
     """
-    checker = SatisfiabilityChecker(query, schema)
+    checker = SatisfiabilityChecker(query, schema, engine)
     if var in query.value_vars():
         domain = list(ATOMIC_TYPE_NAMES)
     elif var in query.label_vars():
@@ -60,10 +65,13 @@ def inferred_types_of(
 
 
 def iterate_inferred_types(
-    query: Query, schema: Schema, extra_pins: Optional[Pins] = None
+    query: Query,
+    schema: Schema,
+    extra_pins: Optional[Pins] = None,
+    engine: Optional[Engine] = None,
 ) -> Iterator[Pins]:
     """Generator form of :func:`infer_types`."""
-    checker = SatisfiabilityChecker(query, schema)
+    checker = SatisfiabilityChecker(query, schema, engine)
     select = list(query.select)
     value_vars = set(query.value_vars())
     label_vars = set(query.label_vars())

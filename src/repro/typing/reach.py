@@ -21,29 +21,32 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from ..automata.nfa import NFA, thompson
+from ..automata.nfa import NFA
 from ..automata.syntax import Regex
+from ..engine import Engine, get_default_engine
 from ..schema.model import Schema
 
 
 class SchemaReach:
-    """Cached product-reachability computations over a schema."""
+    """Cached product-reachability computations over a schema.
 
-    def __init__(self, schema: Schema):
+    Prefer obtaining instances through :meth:`repro.engine.Engine.reach`:
+    all consumers handed the same engine then share one ``SchemaReach``
+    (and its completion caches) per schema fingerprint.
+    """
+
+    def __init__(self, schema: Schema, engine: Optional[Engine] = None):
         self.schema = schema
-        self.edges = schema.possible_edges()
+        self.engine = engine if engine is not None else get_default_engine()
+        self.edges = schema.possible_edges(self.engine)
         self.labels = frozenset(schema.labels())
-        self._compiled: Dict[Regex, NFA] = {}
         self._completions: Dict[
             Tuple[Regex, str, FrozenSet[int]], FrozenSet[Tuple[str, FrozenSet[int]]]
         ] = {}
 
     def compile_path(self, regex: Regex) -> NFA:
         """Compile a path regex over the schema's labels (plus its own)."""
-        if regex not in self._compiled:
-            alphabet = self.labels | frozenset(regex.symbols())
-            self._compiled[regex] = thompson(regex, alphabet)
-        return self._compiled[regex]
+        return self.engine.thompson(regex, self.labels | frozenset(regex.symbols()))
 
     def initial_states(self, regex: Regex) -> FrozenSet[int]:
         return self.compile_path(regex).initial_states()

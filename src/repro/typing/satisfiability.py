@@ -48,8 +48,9 @@ from typing import (
     Union,
 )
 
-from ..automata.nfa import EPS, NFA, thompson
+from ..automata.nfa import EPS, NFA
 from ..automata.syntax import ANY, Regex, Sym
+from ..engine import Engine, get_default_engine
 from ..query.model import PatternDef, PatternKind, Query
 from ..schema.model import ATOMIC_TYPE_NAMES, Schema, TypeKind
 from .reach import SchemaReach
@@ -85,25 +86,32 @@ class DefSpec(NamedTuple):
 Requirement = Tuple[Tuple[str, int], FrozenSet[int]]
 
 
-def is_satisfiable(query: Query, schema: Schema, pins: Optional[Pins] = None) -> bool:
+def is_satisfiable(
+    query: Query,
+    schema: Schema,
+    pins: Optional[Pins] = None,
+    engine: Optional[Engine] = None,
+) -> bool:
     """Decide type correctness: does ``query`` return a non-empty result on
     some instance of ``schema`` (respecting the given pins)?"""
-    return SatisfiabilityChecker(query, schema).satisfiable(pins or {})
+    return SatisfiabilityChecker(query, schema, engine).satisfiable(pins or {})
 
 
 class SatisfiabilityChecker:
     """Reusable checker for one (query, schema) pair.
 
     Construct once and call :meth:`satisfiable` with different pin sets;
-    schema-side caches (the schema graph, path automata) are shared.
+    schema-side artifacts (the schema graph, path automata, content NFAs)
+    live in the engine's cache and are shared with every other consumer of
+    the same engine.
     """
 
-    def __init__(self, query: Query, schema: Schema):
+    def __init__(self, query: Query, schema: Schema, engine: Optional[Engine] = None):
         self.query = query
         self.schema = schema
-        self.reach = SchemaReach(schema)
-        self.reachable = schema.reachable_types()
-        self._type_nfas: Dict[str, NFA] = {}
+        self.engine = engine if engine is not None else get_default_engine()
+        self.reach = self.engine.reach(schema)
+        self.reachable = schema.reachable_types(self.engine)
         self.enumerated: int = 0  # pin assignments tried, for instrumentation
 
     # ------------------------------------------------------------------
@@ -213,6 +221,7 @@ class _PinnedChecker:
     def __init__(self, parent: SatisfiabilityChecker, pins: Pins):
         self.schema = parent.schema
         self.query = parent.query
+        self.engine = parent.engine
         self.reach = parent.reach
         self.reachable = parent.reachable
         self.pins = pins
@@ -228,7 +237,6 @@ class _PinnedChecker:
         self._memo: Dict[Tuple, bool] = {}
         self._in_progress: Set[Tuple] = set()
         self._grew = False
-        self._type_nfas: Dict[str, NFA] = {}
 
     def _normalize(self, pattern: PatternDef) -> DefSpec:
         arms = []
@@ -386,7 +394,7 @@ class _PinnedChecker:
             return not reqs  # atomic nodes have no outgoing edges
         if not collection_defs and not reqs:
             # No constraints below this node; it only needs to exist.
-            return tid in self.schema.inhabited_types()
+            return tid in self.schema.inhabited_types(self.engine)
         return self._word_search(tid, tuple(collection_defs), reqs)
 
     # ------------------------------------------------------------------
@@ -395,22 +403,7 @@ class _PinnedChecker:
 
     def _type_nfa(self, tid: str) -> NFA:
         """The type's content NFA, restricted to inhabited targets."""
-        if tid not in self._type_nfas:
-            nfa = self.schema.compile_regex(tid)
-            inhabited = self.schema.inhabited_types()
-            transitions = {}
-            for src, arcs in nfa.transitions.items():
-                kept = [
-                    (symbol, dst)
-                    for symbol, dst in arcs
-                    if symbol is EPS or symbol[1] in inhabited
-                ]
-                if kept:
-                    transitions[src] = kept
-            self._type_nfas[tid] = NFA(
-                nfa.n_states, nfa.alphabet, nfa.start, nfa.accepting, transitions
-            )
-        return self._type_nfas[tid]
+        return self.engine.restricted_content_nfa(self.schema, tid)
 
     def _word_search(
         self,

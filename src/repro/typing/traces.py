@@ -31,9 +31,10 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..automata.nfa import EPS, NFA, thompson
-from ..automata.ops import intersect, relabel, to_regex, trim
+from ..automata.nfa import EPS, NFA
+from ..automata.ops import intersect, relabel, to_regex, trim, union
 from ..automata.syntax import Regex, Sym, alt, concat
+from ..engine import Engine, get_default_engine
 from ..schema.model import Schema
 from .reach import SchemaReach
 
@@ -55,6 +56,7 @@ def pattern_trace_nfa(
     arms: Sequence[Regex],
     allowed_types: Sequence[Iterable[str]],
     root_types: Iterable[str],
+    engine: Optional[Engine] = None,
 ) -> NFA:
     """Build ``Tr(P)`` for a flat ordered pattern.
 
@@ -64,7 +66,11 @@ def pattern_trace_nfa(
         allowed_types: per arm, the candidate types of its target variable
             (the typed-marker alternation of Section 3.4).
         root_types: candidate types of the pattern's own variable.
+        engine: compilation engine; hash-consing makes the assembled trace
+            regex a cheap cache key, so repeated patterns share one NFA.
     """
+    if engine is None:
+        engine = get_default_engine()
     if len(arms) != len(allowed_types):
         raise ValueError("arms and allowed_types must align")
     parts: List[Regex] = [alt(*(Sym(marker(0, t)) for t in root_types))]
@@ -75,7 +81,7 @@ def pattern_trace_nfa(
     alphabet: Set[object] = set(schema.labels())
     for part in parts:
         alphabet |= set(part.symbols())
-    return thompson(regex, alphabet)
+    return engine.thompson(regex, alphabet)
 
 
 def schema_trace_nfa(
@@ -83,22 +89,36 @@ def schema_trace_nfa(
     root_tid: str,
     arm_count: int,
     reach: Optional[SchemaReach] = None,
+    engine: Optional[Engine] = None,
 ) -> NFA:
     """Build ``Tr(S)`` rooted at ``root_tid`` for ``arm_count`` paths.
 
     The automaton emits ``marker(0, root_tid)``, then ``arm_count``
     label-word segments each terminated by a typed marker, such that the
     whole trace occurs in some instance of the schema.
+
+    The result is memoized per ``(schema fingerprint, root type, arm
+    count)`` — callers must treat it as immutable.
     """
-    reach = reach or SchemaReach(schema)
+    if engine is None:
+        engine = get_default_engine()
     root_def = schema.type(root_tid)
     if not root_def.is_ordered:
         raise ValueError(
             f"schema traces require an ordered root type, got {root_tid!r}"
         )
-    content = _restricted_content_nfa(schema, root_tid)
+    key = ("trace-nfa", schema.fingerprint(), root_tid, arm_count)
+    return engine.cache.get_or_compute(
+        key, lambda: _build_schema_trace_nfa(schema, root_tid, arm_count, engine)
+    )
+
+
+def _build_schema_trace_nfa(
+    schema: Schema, root_tid: str, arm_count: int, engine: Engine
+) -> NFA:
+    content = _restricted_content_nfa(schema, root_tid, engine)
     co_accepting = _co_accepting(content)
-    edges = schema.possible_edges()
+    edges = schema.possible_edges(engine)
 
     # States are tuples; we intern them to integers.
     ids: Dict[Tuple, int] = {}
@@ -158,19 +178,12 @@ def schema_trace_nfa(
     return NFA(len(ids), alphabet, state_id(start), accepting, transitions)
 
 
-def _restricted_content_nfa(schema: Schema, tid: str) -> NFA:
-    nfa = schema.compile_regex(tid)
-    inhabited = schema.inhabited_types()
-    transitions = {}
-    for src, arcs in nfa.transitions.items():
-        kept = [
-            (symbol, dst)
-            for symbol, dst in arcs
-            if symbol is EPS or symbol[1] in inhabited
-        ]
-        if kept:
-            transitions[src] = kept
-    return NFA(nfa.n_states, nfa.alphabet, nfa.start, nfa.accepting, transitions)
+def _restricted_content_nfa(
+    schema: Schema, tid: str, engine: Optional[Engine] = None
+) -> NFA:
+    if engine is None:
+        engine = get_default_engine()
+    return engine.restricted_content_nfa(schema, tid)
 
 
 def _co_accepting(nfa: NFA) -> FrozenSet[int]:
@@ -183,20 +196,37 @@ def trace_product(
     arms: Sequence[Regex],
     allowed_types: Sequence[Iterable[str]],
     reach: Optional[SchemaReach] = None,
+    engine: Optional[Engine] = None,
 ) -> NFA:
-    """``Tr(P) ∩ Tr(S)``, unioned over the candidate root types, trimmed."""
-    from ..automata.ops import union
+    """``Tr(P) ∩ Tr(S)``, unioned over the candidate root types, trimmed.
 
-    pattern = pattern_trace_nfa(schema, arms, allowed_types, root_types)
-    product: Optional[NFA] = None
-    for root_tid in root_types:
-        if not schema.type(root_tid).is_ordered:
-            continue
-        piece = intersect(pattern, schema_trace_nfa(schema, root_tid, len(arms), reach))
-        product = piece if product is None else union(product, piece)
-    if product is None:
-        raise ValueError("no ordered candidate root types")
-    return trim(product)
+    The whole product is memoized: hash-consed arm regexes plus the schema
+    fingerprint make the inputs a cheap structural key, so a repeated query
+    against the same schema reuses the trimmed product outright.
+    """
+    if engine is None:
+        engine = get_default_engine()
+    root_types = tuple(root_types)
+    arms = tuple(arms)
+    allowed_types = tuple(tuple(types) for types in allowed_types)
+    key = ("trace-product", schema.fingerprint(), root_types, arms, allowed_types)
+
+    def build() -> NFA:
+        pattern = pattern_trace_nfa(schema, arms, allowed_types, root_types, engine)
+        product: Optional[NFA] = None
+        for root_tid in root_types:
+            if not schema.type(root_tid).is_ordered:
+                continue
+            piece = intersect(
+                pattern,
+                schema_trace_nfa(schema, root_tid, len(arms), reach, engine),
+            )
+            product = piece if product is None else union(product, piece)
+        if product is None:
+            raise ValueError("no ordered candidate root types")
+        return trim(product)
+
+    return engine.cache.get_or_compute(key, build)
 
 
 def flat_satisfiable(
@@ -204,6 +234,7 @@ def flat_satisfiable(
     root_types: Iterable[str],
     arms: Sequence[Regex],
     allowed_types: Sequence[Iterable[str]],
+    engine: Optional[Engine] = None,
 ) -> bool:
     """Satisfiability of a flat ordered pattern via the trace intersection.
 
@@ -211,7 +242,9 @@ def flat_satisfiable(
     independent oracle for the general checker of
     :mod:`repro.typing.satisfiability`.
     """
-    return not trace_product(schema, root_types, arms, allowed_types).is_empty()
+    return not trace_product(
+        schema, root_types, arms, allowed_types, engine=engine
+    ).is_empty()
 
 
 def inferred_marker_types(product: NFA) -> Dict[int, FrozenSet[str]]:

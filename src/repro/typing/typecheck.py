@@ -15,13 +15,17 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..engine import Engine
 from ..query.model import Query
 from ..schema.model import Schema
 from .satisfiability import Pins, SatisfiabilityChecker
 
 
 def check_total_types(
-    query: Query, schema: Schema, assignment: Pins
+    query: Query,
+    schema: Schema,
+    assignment: Pins,
+    engine: Optional[Engine] = None,
 ) -> bool:
     """Total type checking (problem 2).
 
@@ -46,10 +50,15 @@ def check_total_types(
             f"total type checking requires an assignment for all variables; "
             f"missing {missing}"
         )
-    return SatisfiabilityChecker(query, schema).satisfiable(dict(assignment))
+    return SatisfiabilityChecker(query, schema, engine).satisfiable(dict(assignment))
 
 
-def check_types(query: Query, schema: Schema, assignment: Pins) -> bool:
+def check_types(
+    query: Query,
+    schema: Schema,
+    assignment: Pins,
+    engine: Optional[Engine] = None,
+) -> bool:
     """(Partial) type checking (problem 3).
 
     ``assignment`` gives types/labels for the SELECT variables; the other
@@ -61,4 +70,4 @@ def check_types(query: Query, schema: Schema, assignment: Pins) -> bool:
         raise ValueError(
             f"partial type checking only pins SELECT variables; got {unknown}"
         )
-    return SatisfiabilityChecker(query, schema).satisfiable(dict(assignment))
+    return SatisfiabilityChecker(query, schema, engine).satisfiable(dict(assignment))

@@ -1,0 +1,117 @@
+"""Hash-consing of regex syntax nodes: interning and canonicalization."""
+
+from repro.automata.syntax import (
+    ANY,
+    EMPTY,
+    EPSILON,
+    Alt,
+    Any,
+    Concat,
+    Empty,
+    Epsilon,
+    Star,
+    Sym,
+    alt,
+    concat,
+    star,
+    sym,
+)
+
+
+class TestInterningIdempotence:
+    def test_sym_interned(self):
+        assert sym("a") is sym("a")
+        assert Sym("a") is sym("a")
+
+    def test_alt_interned(self):
+        a, b = sym("a"), sym("b")
+        assert alt(a, b) is alt(a, b)
+
+    def test_concat_interned(self):
+        a, b = sym("a"), sym("b")
+        assert concat(a, b) is concat(a, b)
+
+    def test_star_interned(self):
+        assert star(sym("a")) is star(sym("a"))
+
+    def test_direct_class_construction_interns(self):
+        a, b = sym("a"), sym("b")
+        assert Concat([a, b]) is concat(a, b)
+        assert Alt([a, b]) is alt(a, b)
+        assert Star(a) is star(a)
+
+    def test_singletons(self):
+        assert Empty() is EMPTY
+        assert Epsilon() is EPSILON
+        assert Any() is ANY
+
+    def test_nested_structures_share_nodes(self):
+        left = concat(sym("a"), star(alt(sym("b"), sym("c"))))
+        right = concat(sym("a"), star(alt(sym("b"), sym("c"))))
+        assert left is right
+
+    def test_tuple_symbols_interned(self):
+        assert sym(("label", "Tid")) is sym(("label", "Tid"))
+
+    def test_hash_equals_across_constructions(self):
+        a, b = sym("a"), sym("b")
+        assert hash(alt(a, b)) == hash(Alt([a, b]))
+
+
+class TestCanonicalizationInvariants:
+    def test_alt_flattens(self):
+        a, b, c = sym("a"), sym("b"), sym("c")
+        assert alt(alt(a, b), c) is alt(a, b, c)
+
+    def test_alt_dedupes_preserving_order(self):
+        a, b = sym("a"), sym("b")
+        assert alt(a, b, a) is alt(a, b)
+
+    def test_alt_absorbs_empty(self):
+        a = sym("a")
+        assert alt(a, EMPTY) is a
+
+    def test_concat_flattens(self):
+        a, b, c = sym("a"), sym("b"), sym("c")
+        assert concat(concat(a, b), c) is concat(a, b, c)
+
+    def test_concat_drops_epsilon(self):
+        a, b = sym("a"), sym("b")
+        assert concat(a, EPSILON, b) is concat(a, b)
+
+    def test_concat_annihilates_on_empty(self):
+        assert concat(sym("a"), EMPTY) is EMPTY
+
+    def test_star_collapses(self):
+        a = sym("a")
+        assert star(star(a)) is star(a)
+
+    def test_star_of_empty_and_epsilon(self):
+        assert star(EMPTY) is EPSILON
+        assert star(EPSILON) is EPSILON
+
+    def test_single_part_unwrapped(self):
+        a = sym("a")
+        assert alt(a) is a
+        assert concat(a) is a
+
+
+class TestImmutability:
+    def test_sym_attribute_frozen(self):
+        node = sym("a")
+        try:
+            node.symbol = "b"
+        except AttributeError:
+            pass
+        else:
+            raise AssertionError("expected AttributeError")
+
+    def test_parts_are_tuples(self):
+        node = alt(sym("a"), sym("b"))
+        assert isinstance(node.parts, tuple)
+        node = concat(sym("a"), sym("b"))
+        assert isinstance(node.parts, tuple)
+
+    def test_usable_as_dict_key(self):
+        table = {concat(sym("a"), sym("b")): 1}
+        assert table[concat(sym("a"), sym("b"))] == 1
