@@ -1,0 +1,92 @@
+"""The typed-query service end to end: boot the daemon, register the
+paper's bibliography DTD, and hit every endpoint once over real HTTP.
+
+* start :class:`repro.service.TypedQueryService` on an ephemeral port,
+* register the Section-2 bibliography DTD (the fingerprint is the handle),
+* run the decision problems — satisfiable, check, infer, feedback,
+  classify — against the registered fingerprint,
+* validate and evaluate the bibliography XML document,
+* read back ``/healthz`` and the merged ``/stats`` counters.
+
+This is also the CI smoke script: it exits non-zero if any endpoint
+misbehaves.  Run with::
+
+    PYTHONPATH=src python examples/service_quickstart.py
+"""
+
+from repro.service import ServiceClient, TypedQueryService
+
+DTD = """
+<!ELEMENT Document (paper*) >
+<!ELEMENT paper (title,(author)*)>
+<!ELEMENT title #PCDATA >
+<!ELEMENT author (name, email)>
+<!ELEMENT name (firstname,lastname)>
+<!ELEMENT firstname #PCDATA >
+<!ELEMENT lastname #PCDATA >
+<!ELEMENT email #PCDATA >
+"""
+
+XML = """
+<Document>
+  <paper>
+    <title>A real nice paper</title>
+    <author><name><firstname>Victor</firstname><lastname>Vianu</lastname></name>
+            <email>vianu@ucsd</email></author>
+    <author><name><firstname>Serge</firstname><lastname>Abiteboul</lastname></name>
+            <email>serge@inria</email></author>
+  </paper>
+</Document>
+"""
+
+QUERY = "SELECT X WHERE Root = [Document.paper -> X]"
+
+
+def main() -> None:
+    with TypedQueryService() as service:
+        client = ServiceClient(service.host, service.port)
+        print(f"daemon listening on {service.address}")
+        print("healthz:", client.healthz()["status"])
+
+        registered = client.register_schema(DTD, syntax="dtd", wrap=True)
+        fingerprint = registered["fingerprint"]
+        print(f"registered bibliography DTD as {fingerprint[:12]}...")
+        print("  types:", ", ".join(registered["types"]))
+
+        verdict = client.satisfiable(fingerprint, QUERY)
+        print("satisfiable?", verdict["satisfiable"])
+
+        inferred = client.infer(fingerprint, QUERY)
+        print("inferred types:", inferred["assignments"])
+
+        paper_type = inferred["assignments"][0]["X"]
+        checked = client.check(fingerprint, QUERY, {"X": paper_type})
+        print(f"check X={paper_type}:", checked["well_typed"])
+
+        sloppy = "SELECT X WHERE Root = [(_*).lastname -> X]"
+        feedback = client.feedback(fingerprint, sloppy)
+        print("feedback query:", " ".join(feedback["query"].split()))
+
+        cell = client.classify(fingerprint, QUERY)
+        print("Table-2 cell:", cell["schema_row"], "/", cell["query_column"],
+              "->", cell["combined_complexity"])
+
+        validation = client.validate(fingerprint, xml=XML)
+        print("XML document valid?", validation["valid"])
+
+        answers = client.evaluate(QUERY, xml=XML, fingerprint=fingerprint)
+        print("evaluate bindings:", answers["count"], "result(s)")
+
+        stats = client.stats()
+        engine = stats["registry"]["engines"][fingerprint]
+        print(
+            f"stats: {stats['service']['requests']} requests served, "
+            f"engine cache {engine['hits']} hits / {engine['misses']} misses"
+        )
+        assert verdict["satisfiable"] and validation["valid"]
+        assert engine["hits"] > 0
+        print("service quickstart ok")
+
+
+if __name__ == "__main__":
+    main()

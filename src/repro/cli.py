@@ -12,9 +12,22 @@ Commands
 ``classify``  report the Table-2 cell of a (schema, query) pair
 ``transform``  apply / type-check a Skolem transformation (Section 4.3)
 ``dot``  emit Graphviz DOT for a data graph or a schema graph
+``serve``  run the typed-query daemon (see ``docs/service.md``)
 
 Schemas may be given as ScmDL text (``--schema``) or as a DTD
 (``--dtd``); data graphs as Table-1 text (``--data``) or XML (``--xml``).
+
+Machine use
+-----------
+
+Every command takes ``--json``, which replaces the human output with the
+same JSON envelope the typed-query service returns (one envelope per
+invocation, on stdout).  Exit codes are uniform across commands:
+
+* ``0`` — the question was decided with a positive answer
+  (valid / satisfiable / well-typed / results exist);
+* ``1`` — decided with a negative answer;
+* ``2`` — usage or parse error (bad flags, missing files, syntax errors).
 """
 
 from __future__ import annotations
@@ -22,12 +35,24 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional
+from typing import Optional, Tuple
 
 from .data import from_xml, parse_data
 from .query import evaluate, parse_query, query_to_string
 from .schema import find_type_assignment, parse_dtd, parse_schema
 from .typing import check_types, classify, infer_types, is_satisfiable
+
+#: The uniform exit codes (mirrored in the envelope ``meta.exit_code``).
+EXIT_OK = 0
+EXIT_NEGATIVE = 1
+EXIT_USAGE = 2
+
+#: A handler's return value: (exit code, JSON-able result payload).
+Outcome = Tuple[int, dict]
+
+
+class UsageError(Exception):
+    """A bad invocation: missing inputs, unreadable files, parse errors."""
 
 
 def _load_schema(args: argparse.Namespace):
@@ -37,7 +62,7 @@ def _load_schema(args: argparse.Namespace):
     if args.schema:
         with open(args.schema) as handle:
             return parse_schema(handle.read())
-    raise SystemExit("provide --schema FILE or --dtd FILE")
+    raise UsageError("provide --schema FILE or --dtd FILE")
 
 
 def _load_data(args: argparse.Namespace):
@@ -47,7 +72,7 @@ def _load_data(args: argparse.Namespace):
     if getattr(args, "data", None):
         with open(args.data) as handle:
             return parse_data(handle.read())
-    raise SystemExit("provide --data FILE or --xml FILE")
+    raise UsageError("provide --data FILE or --xml FILE")
 
 
 def _load_query(args: argparse.Namespace):
@@ -65,25 +90,29 @@ def _add_schema_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def cmd_validate(args: argparse.Namespace) -> int:
+def cmd_validate(args: argparse.Namespace) -> Outcome:
     schema = _load_schema(args)
     graph = _load_data(args)
     assignment = find_type_assignment(graph, schema)
     if assignment is None:
-        print("INVALID: no type assignment exists")
-        return 1
-    print("VALID")
-    if args.verbose:
-        for oid, tid in assignment.items():
-            print(f"  {oid}: {tid}")
-    return 0
+        if not args.json:
+            print("INVALID: no type assignment exists")
+        return EXIT_NEGATIVE, {"valid": False, "assignment": None}
+    if not args.json:
+        print("VALID")
+        if args.verbose:
+            for oid, tid in assignment.items():
+                print(f"  {oid}: {tid}")
+    return EXIT_OK, {"valid": True, "assignment": dict(assignment)}
 
 
-def cmd_satisfiable(args: argparse.Namespace) -> int:
+def cmd_satisfiable(args: argparse.Namespace) -> Outcome:
     schema = _load_schema(args)
     query = _load_query(args)
     verdict = is_satisfiable(query, schema)
-    print("SATISFIABLE" if verdict else "UNSATISFIABLE")
+    result: dict = {"satisfiable": verdict}
+    if not args.json:
+        print("SATISFIABLE" if verdict else "UNSATISFIABLE")
     if verdict and args.witness:
         from .data import data_to_string
         from .typing import WitnessError, find_witness
@@ -91,39 +120,48 @@ def cmd_satisfiable(args: argparse.Namespace) -> int:
         try:
             witness = find_witness(query, schema)
         except WitnessError as error:
-            print(f"(no witness constructed: {error})")
+            result["witness"] = None
+            result["witness_error"] = str(error)
+            if not args.json:
+                print(f"(no witness constructed: {error})")
         else:
-            if witness is not None:
+            result["witness"] = data_to_string(witness) if witness else None
+            if witness is not None and not args.json:
                 print("witness instance:")
                 print(data_to_string(witness))
-    return 0 if verdict else 1
+    return (EXIT_OK if verdict else EXIT_NEGATIVE), result
 
 
-def cmd_check(args: argparse.Namespace) -> int:
+def cmd_check(args: argparse.Namespace) -> Outcome:
     schema = _load_schema(args)
     query = _load_query(args)
-    assignment = dict(pair.split("=", 1) for pair in args.assign)
+    try:
+        assignment = dict(pair.split("=", 1) for pair in args.assign)
+    except ValueError:
+        raise UsageError("assignments must be VAR=TYPE pairs") from None
     verdict = check_types(query, schema, assignment)
-    print("OK" if verdict else "FAIL")
-    return 0 if verdict else 1
+    if not args.json:
+        print("OK" if verdict else "FAIL")
+    code = EXIT_OK if verdict else EXIT_NEGATIVE
+    return code, {"well_typed": verdict, "total": False}
 
 
-def cmd_infer(args: argparse.Namespace) -> int:
+def cmd_infer(args: argparse.Namespace) -> Outcome:
     schema = _load_schema(args)
     query = _load_query(args)
     results = infer_types(query, schema)
-    if args.json:
-        print(json.dumps(results, indent=2))
-    else:
+    assignments = [dict(assignment) for assignment in results]
+    if not args.json:
         if not results:
             print("(no satisfiable type assignment)")
         for assignment in results:
             rendered = ", ".join(f"{k}={v}" for k, v in assignment.items())
             print(rendered or "(boolean query: satisfiable)")
-    return 0 if results else 1
+    code = EXIT_OK if results else EXIT_NEGATIVE
+    return code, {"assignments": assignments, "count": len(assignments)}
 
 
-def cmd_feedback(args: argparse.Namespace) -> int:
+def cmd_feedback(args: argparse.Namespace) -> Outcome:
     from .apps import UnsatisfiableQueryError, feedback_query
 
     schema = _load_schema(args)
@@ -131,23 +169,31 @@ def cmd_feedback(args: argparse.Namespace) -> int:
     try:
         tightened = feedback_query(query, schema)
     except UnsatisfiableQueryError as error:
-        print(f"UNSATISFIABLE: {error}")
-        return 1
-    print(query_to_string(tightened))
-    return 0
+        if not args.json:
+            print(f"UNSATISFIABLE: {error}")
+        return EXIT_NEGATIVE, {
+            "satisfiable": False,
+            "query": None,
+            "reason": str(error),
+        }
+    text = query_to_string(tightened)
+    if not args.json:
+        print(text)
+    return EXIT_OK, {"satisfiable": True, "query": text}
 
 
-def cmd_evaluate(args: argparse.Namespace) -> int:
+def cmd_evaluate(args: argparse.Namespace) -> Outcome:
     graph = _load_data(args)
     query = _load_query(args)
     results = evaluate(query, graph, limit=args.limit)
-    for binding in results:
-        print(", ".join(f"{k}={v}" for k, v in binding.items()) or "(match)")
-    print(f"-- {len(results)} result(s)")
-    return 0
+    if not args.json:
+        for binding in results:
+            print(", ".join(f"{k}={v}" for k, v in binding.items()) or "(match)")
+        print(f"-- {len(results)} result(s)")
+    return EXIT_OK, {"bindings": results, "count": len(results)}
 
 
-def cmd_transform(args: argparse.Namespace) -> int:
+def cmd_transform(args: argparse.Namespace) -> Outcome:
     from .apps import check_transformation, infer_output_schema, parse_transform
     from .data import data_to_string
     from .schema import schema_to_string
@@ -158,42 +204,74 @@ def cmd_transform(args: argparse.Namespace) -> int:
         schema = _load_schema(args)
     if args.infer:
         inferred = infer_output_schema(transform, schema)
-        print(schema_to_string(inferred))
-        return 0
+        text = schema_to_string(inferred)
+        if not args.json:
+            print(text)
+        return EXIT_OK, {"schema": text}
     if args.target:
         with open(args.target) as handle:
             target = parse_schema(handle.read())
         verdict = check_transformation(transform, schema, target)
-        print("OK" if verdict else "FAIL")
-        return 0 if verdict else 1
+        if not args.json:
+            print("OK" if verdict else "FAIL")
+        code = EXIT_OK if verdict else EXIT_NEGATIVE
+        return code, {"well_typed": verdict}
     graph = _load_data(args)
-    print(data_to_string(transform.apply(graph)))
-    return 0
+    text = data_to_string(transform.apply(graph))
+    if not args.json:
+        print(text)
+    return EXIT_OK, {"data": text}
 
 
-def cmd_dot(args: argparse.Namespace) -> int:
+def cmd_dot(args: argparse.Namespace) -> Outcome:
     from .data import graph_to_dot, schema_to_dot
 
     if args.schema or args.dtd:
-        print(schema_to_dot(_load_schema(args)))
-        return 0
-    if args.data or args.xml:
-        print(graph_to_dot(_load_data(args)))
-        return 0
-    raise SystemExit("provide --schema/--dtd or --data/--xml")
+        text = schema_to_dot(_load_schema(args))
+    elif args.data or args.xml:
+        text = graph_to_dot(_load_data(args))
+    else:
+        raise UsageError("provide --schema/--dtd or --data/--xml")
+    if not args.json:
+        print(text)
+    return EXIT_OK, {"dot": text}
 
 
-def cmd_classify(args: argparse.Namespace) -> int:
+def cmd_classify(args: argparse.Namespace) -> Outcome:
+    import dataclasses
+
     schema = _load_schema(args)
     query = _load_query(args)
     cell = classify(query, schema)
-    print(f"schema row:    {cell.schema_row}")
-    print(f"query column:  {cell.query_column}")
-    print(f"prediction:    {cell.combined_complexity}")
-    print(f"DTD-:          {cell.schema_is_dtd_minus}")
-    print(f"DTD+:          {cell.schema_is_dtd_plus}")
-    print(f"join width:    {cell.query_join_width}")
-    return 0
+    if not args.json:
+        print(f"schema row:    {cell.schema_row}")
+        print(f"query column:  {cell.query_column}")
+        print(f"prediction:    {cell.combined_complexity}")
+        print(f"DTD-:          {cell.schema_is_dtd_minus}")
+        print(f"DTD+:          {cell.schema_is_dtd_plus}")
+        print(f"join width:    {cell.query_join_width}")
+    result = dataclasses.asdict(cell)
+    result["polynomial"] = cell.polynomial
+    return EXIT_OK, result
+
+
+def cmd_serve(args: argparse.Namespace) -> Outcome:
+    from .service import SchemaRegistry, ServiceLimits, serve
+
+    registry = SchemaRegistry(max_schemas=args.max_schemas)
+    limits = ServiceLimits(
+        default_deadline_s=args.deadline,
+        max_deadline_s=max(args.deadline, args.max_deadline),
+        max_body_bytes=args.max_body_bytes,
+    )
+    serve(
+        host=args.host,
+        port=args.port,
+        registry=registry,
+        limits=limits,
+        verbose=args.verbose,
+    )
+    return EXIT_OK, {"served": True}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -209,15 +287,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    validate = commands.add_parser("validate", help="validate data against a schema")
+    def add_command(name: str, handler, **kwargs) -> argparse.ArgumentParser:
+        sub = commands.add_parser(name, **kwargs)
+        sub.add_argument(
+            "--json",
+            action="store_true",
+            help="emit the service's JSON result envelope instead of text",
+        )
+        sub.set_defaults(handler=handler)
+        return sub
+
+    validate = add_command(
+        "validate", cmd_validate, help="validate data against a schema"
+    )
     _add_schema_options(validate)
     validate.add_argument("--data", help="data graph file (Table-1 syntax)")
     validate.add_argument("--xml", help="XML document file")
     validate.add_argument("--verbose", action="store_true")
-    validate.set_defaults(handler=cmd_validate)
 
-    satisfiable = commands.add_parser(
-        "satisfiable", help="type correctness of a query"
+    satisfiable = add_command(
+        "satisfiable", cmd_satisfiable, help="type correctness of a query"
     )
     _add_schema_options(satisfiable)
     satisfiable.add_argument("query", help="query file")
@@ -226,36 +315,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print a conforming witness instance (join-free ordered queries)",
     )
-    satisfiable.set_defaults(handler=cmd_satisfiable)
 
-    check = commands.add_parser("check", help="partial type checking")
+    check = add_command("check", cmd_check, help="partial type checking")
     _add_schema_options(check)
     check.add_argument("query", help="query file")
     check.add_argument(
         "assign", nargs="+", help="assignments VAR=TYPE for SELECT variables"
     )
-    check.set_defaults(handler=cmd_check)
 
-    infer = commands.add_parser("infer", help="type inference for SELECT variables")
+    infer = add_command(
+        "infer", cmd_infer, help="type inference for SELECT variables"
+    )
     _add_schema_options(infer)
     infer.add_argument("query", help="query file")
-    infer.add_argument("--json", action="store_true")
-    infer.set_defaults(handler=cmd_infer)
 
-    feedback = commands.add_parser("feedback", help="compute the feedback query")
+    feedback = add_command(
+        "feedback", cmd_feedback, help="compute the feedback query"
+    )
     _add_schema_options(feedback)
     feedback.add_argument("query", help="query file")
-    feedback.set_defaults(handler=cmd_feedback)
 
-    evaluate_cmd = commands.add_parser("evaluate", help="run a query on data")
+    evaluate_cmd = add_command("evaluate", cmd_evaluate, help="run a query on data")
     evaluate_cmd.add_argument("query", help="query file")
     evaluate_cmd.add_argument("--data", help="data graph file")
     evaluate_cmd.add_argument("--xml", help="XML document file")
     evaluate_cmd.add_argument("--limit", type=int, default=None)
-    evaluate_cmd.set_defaults(handler=cmd_evaluate)
 
-    transform_cmd = commands.add_parser(
-        "transform", help="apply / type-check a Skolem transformation"
+    transform_cmd = add_command(
+        "transform", cmd_transform, help="apply / type-check a Skolem transformation"
     )
     _add_schema_options(transform_cmd)
     transform_cmd.add_argument("transform", help="transformation file (WHERE + CONSTRUCT)")
@@ -267,18 +354,52 @@ def build_parser() -> argparse.ArgumentParser:
     transform_cmd.add_argument(
         "--target", help="output schema file to type-check against"
     )
-    transform_cmd.set_defaults(handler=cmd_transform)
 
-    dot_cmd = commands.add_parser("dot", help="emit Graphviz DOT for data or a schema")
+    dot_cmd = add_command(
+        "dot", cmd_dot, help="emit Graphviz DOT for data or a schema"
+    )
     _add_schema_options(dot_cmd)
     dot_cmd.add_argument("--data", help="data graph file")
     dot_cmd.add_argument("--xml", help="XML document file")
-    dot_cmd.set_defaults(handler=cmd_dot)
 
-    classify_cmd = commands.add_parser("classify", help="report the Table-2 cell")
+    classify_cmd = add_command(
+        "classify", cmd_classify, help="report the Table-2 cell"
+    )
     _add_schema_options(classify_cmd)
     classify_cmd.add_argument("query", help="query file")
-    classify_cmd.set_defaults(handler=cmd_classify)
+
+    serve_cmd = add_command(
+        "serve", cmd_serve, help="run the typed-query HTTP daemon"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8421)
+    serve_cmd.add_argument(
+        "--max-schemas",
+        type=int,
+        default=64,
+        help="LRU bound on resident compiled schemas",
+    )
+    serve_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="default per-request deadline in seconds",
+    )
+    serve_cmd.add_argument(
+        "--max-deadline",
+        type=float,
+        default=120.0,
+        help="largest per-request deadline a client may ask for",
+    )
+    serve_cmd.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=1 << 20,
+        help="reject request bodies larger than this",
+    )
+    serve_cmd.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request to stderr"
+    )
 
     return parser
 
@@ -286,7 +407,27 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    status = args.handler(args)
+    command = args.command
+    wants_json = bool(getattr(args, "json", False))
+    try:
+        status, result = args.handler(args)
+    except (UsageError, OSError, ValueError, SyntaxError) as error:
+        # ValueError/SyntaxError cover every parse error in the package
+        # (lexer, schema, DTD, XML, query, data syntax).
+        if wants_json:
+            from .service.envelope import as_service_error, error_envelope
+
+            envelope = error_envelope(command, as_service_error(error))
+            envelope["meta"]["exit_code"] = EXIT_USAGE
+            print(json.dumps(envelope, indent=2))
+        else:
+            print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    if wants_json:
+        from .service.envelope import ok_envelope
+
+        envelope = ok_envelope(command, result, meta={"exit_code": status})
+        print(json.dumps(envelope, indent=2))
     if getattr(args, "cache_stats", False):
         from .engine import get_default_engine
 

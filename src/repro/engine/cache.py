@@ -20,6 +20,7 @@ growth.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Optional, Tuple
@@ -87,6 +88,15 @@ class EngineCache:
         self._evictions = 0
         self._kind_hits: Dict[str, int] = {}
         self._kind_misses: Dict[str, int] = {}
+        # Reentrant because compute() callbacks routinely consult the cache
+        # under *different* keys (a trace product asking for its component
+        # NFAs).  Holding the lock across compute() serializes computation
+        # within one cache, which is intentional: it guarantees each key is
+        # computed at most once ("single flight") and keeps the LRU and the
+        # counters exact under the threaded service, where concurrency comes
+        # from the one-engine-per-registered-schema layout rather than from
+        # parallel computes inside a single engine.
+        self._lock = threading.RLock()
 
     @staticmethod
     def _kind_of(key: Hashable) -> str:
@@ -100,51 +110,60 @@ class EngineCache:
         ``compute`` may itself consult the cache under *different* keys
         (e.g. a trace product computing its component NFAs); re-entrant
         lookups under the same key are the caller's bug, not supported.
+
+        Thread-safe: the cache lock is held for the whole call, including
+        ``compute``, so concurrent callers of the same key block until the
+        first finishes and then take a hit on the stored value.
         """
         kind = self._kind_of(key)
-        if key in self._data:
-            self._hits += 1
-            self._kind_hits[kind] = self._kind_hits.get(kind, 0) + 1
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._kind_hits[kind] = self._kind_hits.get(kind, 0) + 1
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._misses += 1
+            self._kind_misses[kind] = self._kind_misses.get(kind, 0) + 1
+            value = compute()
+            self._data[key] = value
             self._data.move_to_end(key)
-            return self._data[key]
-        self._misses += 1
-        self._kind_misses[kind] = self._kind_misses.get(kind, 0) + 1
-        value = compute()
-        self._data[key] = value
-        self._data.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._data) > self.max_entries:
-                self._data.popitem(last=False)
-                self._evictions += 1
-        return value
+            if self.max_entries is not None:
+                while len(self._data) > self.max_entries:
+                    self._data.popitem(last=False)
+                    self._evictions += 1
+            return value
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; use a new cache to reset)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def stats(self) -> CacheStats:
         """A snapshot of hit/miss/eviction counters, total and per kind."""
-        kinds = set(self._kind_hits) | set(self._kind_misses)
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._data),
-            max_entries=self.max_entries if self.max_entries is not None else -1,
-            by_kind={
-                kind: KindStats(
-                    hits=self._kind_hits.get(kind, 0),
-                    misses=self._kind_misses.get(kind, 0),
-                )
-                for kind in kinds
-            },
-        )
+        with self._lock:
+            kinds = set(self._kind_hits) | set(self._kind_misses)
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                max_entries=self.max_entries if self.max_entries is not None else -1,
+                by_kind={
+                    kind: KindStats(
+                        hits=self._kind_hits.get(kind, 0),
+                        misses=self._kind_misses.get(kind, 0),
+                    )
+                    for kind in kinds
+                },
+            )
 
     def __repr__(self) -> str:
         return (

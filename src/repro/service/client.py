@@ -1,0 +1,206 @@
+"""A thin stdlib client for the typed-query daemon.
+
+Used by the test suite, the throughput benchmark, and the quickstart
+example; also convenient interactively::
+
+    from repro.service import ServiceClient
+    client = ServiceClient("127.0.0.1", 8421)
+    fp = client.register_schema(open("schema.scmdl").read())["fingerprint"]
+    client.satisfiable(fp, "SELECT X WHERE Root = [paper -> X]")
+
+Each helper returns the envelope's ``result`` object on success and
+raises :class:`ServiceResponseError` (carrying the structured ``error``
+object and HTTP status) on an error envelope.  :meth:`ServiceClient.request`
+is the raw layer returning ``(status, envelope)`` for callers that want
+to inspect failures without exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any, Dict, Optional, Tuple
+
+
+class ServiceResponseError(Exception):
+    """The daemon answered with an error envelope."""
+
+    def __init__(self, status: int, error: Dict[str, Any], envelope: Dict[str, Any]):
+        code = error.get("code", "internal")
+        message = error.get("message", "unknown error")
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.error = error
+        self.envelope = envelope
+
+
+class ServiceClient:
+    """One daemon address; opens a fresh connection per request."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8421, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Send one request; return ``(http_status, envelope)``."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            return response.status, json.loads(raw.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def call(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Like :meth:`request` but unwraps the envelope or raises."""
+        status, envelope = self.request(method, path, payload)
+        if not envelope.get("ok"):
+            raise ServiceResponseError(status, envelope.get("error") or {}, envelope)
+        return envelope["result"]
+
+    # ------------------------------------------------------------------
+    # Endpoint helpers
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.call("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("GET", "/stats")
+
+    def register_schema(
+        self, schema_text: str, syntax: str = "scmdl", wrap: bool = False
+    ) -> Dict[str, Any]:
+        return self.call(
+            "POST",
+            "/schemas",
+            {"schema": schema_text, "syntax": syntax, "wrap": wrap},
+        )
+
+    def list_schemas(self) -> Dict[str, Any]:
+        return self.call("GET", "/schemas")
+
+    def evict_schema(self, fingerprint: str) -> Dict[str, Any]:
+        return self.call("DELETE", f"/schemas/{fingerprint}")
+
+    def satisfiable(
+        self,
+        fingerprint: str,
+        query: str,
+        pins: Optional[Dict[str, str]] = None,
+        witness: bool = False,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"fingerprint": fingerprint, "query": query}
+        if pins:
+            payload["pins"] = pins
+        if witness:
+            payload["witness"] = True
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.call("POST", "/satisfiable", payload)
+
+    def check(
+        self,
+        fingerprint: str,
+        query: str,
+        assignment: Dict[str, str],
+        total: bool = False,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "fingerprint": fingerprint,
+            "query": query,
+            "assignment": assignment,
+            "total": total,
+        }
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.call("POST", "/check", payload)
+
+    def infer(
+        self,
+        fingerprint: str,
+        query: str,
+        pins: Optional[Dict[str, str]] = None,
+        limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"fingerprint": fingerprint, "query": query}
+        if pins:
+            payload["pins"] = pins
+        if limit is not None:
+            payload["limit"] = limit
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.call("POST", "/infer", payload)
+
+    def feedback(
+        self, fingerprint: str, query: str, deadline: Optional[float] = None
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"fingerprint": fingerprint, "query": query}
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.call("POST", "/feedback", payload)
+
+    def classify(self, fingerprint: str, query: str) -> Dict[str, Any]:
+        return self.call(
+            "POST", "/classify", {"fingerprint": fingerprint, "query": query}
+        )
+
+    def validate(
+        self,
+        fingerprint: str,
+        data: Optional[str] = None,
+        xml: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"fingerprint": fingerprint}
+        if data is not None:
+            payload["data"] = data
+        if xml is not None:
+            payload["xml"] = xml
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.call("POST", "/validate", payload)
+
+    def evaluate(
+        self,
+        query: str,
+        data: Optional[str] = None,
+        xml: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"query": query}
+        if data is not None:
+            payload["data"] = data
+        if xml is not None:
+            payload["xml"] = xml
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+        if limit is not None:
+            payload["limit"] = limit
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.call("POST", "/evaluate", payload)

@@ -1,0 +1,158 @@
+"""Per-request resource limits: deadlines, body caps, worker slots.
+
+The paper's Table 2 has NP-complete cells, and the daemon accepts
+arbitrary (schema, query) pairs — so any request may be a 3SAT instance
+in disguise.  A production service cannot let one such request pin a
+worker forever.  This module gives every request:
+
+* a **wall-clock deadline** (client-settable per request, clamped to a
+  server maximum).  The decision procedure runs on a detached daemon
+  thread; if the deadline passes, the HTTP worker answers a structured
+  503 ``timeout`` envelope and is immediately reclaimed for new requests.
+  Pure-Python CPU-bound work cannot be cooperatively cancelled, so the
+  detached thread runs to completion in the background — which is why a
+  bounded **slot semaphore** caps how many computations (live or
+  abandoned) may exist at once; when no slot frees up in time the server
+  answers 503 ``busy`` instead of queueing unboundedly.
+* an **input size cap** on request bodies (413 ``payload-too-large``).
+
+All three failure modes surface as :class:`~repro.service.envelope.ServiceError`
+subclasses and therefore as machine-readable error envelopes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .envelope import ServiceError
+
+
+class DeadlineExceeded(ServiceError):
+    """The per-request wall-clock deadline passed before an answer."""
+
+    def __init__(self, deadline_s: float):
+        super().__init__(
+            f"request exceeded its {deadline_s:g}s deadline; "
+            f"the computation was detached and the worker reclaimed",
+            code="timeout",
+            status=503,
+            detail={"deadline_s": deadline_s},
+        )
+
+
+class ServiceBusy(ServiceError):
+    """All computation slots are taken (live or abandoned-by-timeout)."""
+
+    def __init__(self, slots: int):
+        super().__init__(
+            f"all {slots} computation slots are busy; retry later",
+            code="busy",
+            status=503,
+            detail={"slots": slots},
+        )
+
+
+class PayloadTooLarge(ServiceError):
+    """The request body exceeds the configured cap."""
+
+    def __init__(self, size: int, limit: int):
+        super().__init__(
+            f"request body of {size} bytes exceeds the {limit}-byte cap",
+            code="payload-too-large",
+            status=413,
+            detail={"size": size, "limit": limit},
+        )
+
+
+@dataclass(frozen=True)
+class ServiceLimits:
+    """The knob set enforced on every request.
+
+    Attributes:
+        max_body_bytes: reject bodies larger than this (413).
+        default_deadline_s: deadline when the request names none.
+        max_deadline_s: ceiling a request's own ``deadline`` is clamped to.
+        max_slots: concurrent computations (including ones abandoned by a
+            timeout but still burning CPU) the server will carry.
+        slot_wait_s: how long a request waits for a free slot before 503
+            ``busy`` — kept short so saturation is visible, not queued.
+    """
+
+    max_body_bytes: int = 1 << 20
+    default_deadline_s: float = 30.0
+    max_deadline_s: float = 120.0
+    max_slots: int = 32
+    slot_wait_s: float = 1.0
+
+    def clamp_deadline(self, requested: Optional[float]) -> float:
+        """The effective deadline for a request asking for ``requested``."""
+        if requested is None:
+            return self.default_deadline_s
+        if not isinstance(requested, (int, float)) or requested <= 0:
+            raise ServiceError(
+                "deadline must be a positive number of seconds",
+                code="bad-request",
+            )
+        return min(float(requested), self.max_deadline_s)
+
+    def check_body_size(self, size: int) -> None:
+        if size > self.max_body_bytes:
+            raise PayloadTooLarge(size, self.max_body_bytes)
+
+
+class DeadlineRunner:
+    """Runs callables under a deadline on detached daemon threads.
+
+    One runner per server; the semaphore is the global computation-slot
+    budget.  :meth:`call` either returns the callable's result, re-raises
+    its exception, or raises :class:`DeadlineExceeded` /
+    :class:`ServiceBusy`.
+    """
+
+    def __init__(self, limits: ServiceLimits):
+        self.limits = limits
+        self._slots = threading.BoundedSemaphore(limits.max_slots)
+        self._lock = threading.Lock()
+        self._timeouts = 0
+        self._detached = 0  # threads currently running past their deadline
+
+    def call(self, fn: Callable[[], Any], deadline_s: float) -> Any:
+        if not self._slots.acquire(timeout=self.limits.slot_wait_s):
+            raise ServiceBusy(self.limits.max_slots)
+        box: dict = {}
+        done = threading.Event()
+
+        def work() -> None:
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # propagated to the caller below
+                box["error"] = exc
+            finally:
+                done.set()
+                self._slots.release()
+                with self._lock:
+                    if abandoned.is_set():
+                        self._detached -= 1
+
+        abandoned = threading.Event()
+        thread = threading.Thread(target=work, daemon=True, name="repro-compute")
+        thread.start()
+        if not done.wait(timeout=deadline_s):
+            with self._lock:
+                self._timeouts += 1
+                self._detached += 1
+                abandoned.set()
+            raise DeadlineExceeded(deadline_s)
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "timeouts": self._timeouts,
+                "detached": self._detached,
+                "max_slots": self.limits.max_slots,
+            }

@@ -1,0 +1,104 @@
+"""Per-endpoint request metrics for the typed-query daemon.
+
+:class:`ServiceMetrics` collects, per endpoint: request and error counts,
+a count per status class, and a fixed-bucket latency histogram (upper
+bounds in milliseconds, last bucket unbounded).  Everything is guarded by
+one lock — observations are a handful of integer increments, so a single
+mutex is cheaper than sharded counters at this scale.
+
+``/stats`` merges a :meth:`snapshot` with the schema registry's counters
+and each registered engine's per-kind cache hit/miss numbers (see
+:meth:`repro.service.daemon.ServiceState.stats_payload`), which is what
+lets a benchmark assert "warm requests hit the automata cache" from the
+outside, with no process introspection.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+#: Histogram bucket upper bounds, in milliseconds (last bucket = +inf).
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class _EndpointMetrics:
+    __slots__ = ("requests", "errors", "by_status", "buckets", "total_ms", "max_ms")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.by_status: Dict[str, int] = {}
+        self.buckets: List[int] = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, status: int, elapsed_ms: float) -> None:
+        self.requests += 1
+        if status >= 400:
+            self.errors += 1
+        key = str(status)
+        self.by_status[key] = self.by_status.get(key, 0) + 1
+        index = len(LATENCY_BUCKETS_MS)
+        for i, bound in enumerate(LATENCY_BUCKETS_MS):
+            if elapsed_ms <= bound:
+                index = i
+                break
+        self.buckets[index] += 1
+        self.total_ms += elapsed_ms
+        self.max_ms = max(self.max_ms, elapsed_ms)
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "by_status": dict(self.by_status),
+            "latency_ms": {
+                "buckets": list(LATENCY_BUCKETS_MS) + ["inf"],
+                "counts": list(self.buckets),
+                "total": round(self.total_ms, 3),
+                "mean": round(self.total_ms / self.requests, 3) if self.requests else 0.0,
+                "max": round(self.max_ms, 3),
+            },
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe request counters and latency histograms, per endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, _EndpointMetrics] = {}
+        self._started = None  # type: Optional[float]
+
+    def mark_started(self, now: float) -> None:
+        """Record the server start time (``time.time()``) for uptime."""
+        with self._lock:
+            self._started = now
+
+    def started_at(self) -> Optional[float]:
+        with self._lock:
+            return self._started
+
+    def observe(self, endpoint: str, status: int, elapsed_s: float) -> None:
+        """Record one finished request against ``endpoint``."""
+        with self._lock:
+            metrics = self._endpoints.get(endpoint)
+            if metrics is None:
+                metrics = self._endpoints[endpoint] = _EndpointMetrics()
+            metrics.observe(status, elapsed_s * 1000.0)
+
+    def snapshot(self) -> dict:
+        """All per-endpoint counters plus request/error totals."""
+        with self._lock:
+            endpoints = {
+                name: metrics.snapshot()
+                for name, metrics in sorted(self._endpoints.items())
+            }
+        return {
+            "requests": sum(e["requests"] for e in endpoints.values()),
+            "errors": sum(e["errors"] for e in endpoints.values()),
+            "endpoints": endpoints,
+        }

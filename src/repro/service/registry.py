@@ -1,0 +1,252 @@
+"""The concurrent, fingerprint-keyed schema registry.
+
+The registry is what turns the engine's memoization into a cross-request
+asset: a schema is parsed and compiled **once** at registration — the
+paper's per-schema artifacts (symbol alphabet, inhabited types, schema
+graph, content NFAs, reachability tables) are pre-warmed into a dedicated
+:class:`~repro.engine.Engine` — and every later request addresses it by
+its :meth:`~repro.schema.model.Schema.fingerprint`, paying none of that
+work again.
+
+Design points:
+
+* **One engine per registered schema.**  Cross-schema requests never
+  contend on one cache lock, and evicting a schema frees its compiled
+  artifacts in one step (the engine goes with the entry).
+* **Bounded + LRU.**  ``max_schemas`` caps resident compiled schemas;
+  registering past the bound evicts the least recently *used* entry
+  (lookups refresh recency, not just registrations).
+* **Thread-safe.**  A single lock guards the map and the counters; the
+  expensive parse/pre-warm runs outside the lock, so concurrent
+  registrations of distinct schemas proceed in parallel and a racing
+  duplicate registration of the same fingerprint resolves to one entry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..engine import Engine
+from ..schema import Schema, parse_dtd, parse_schema
+from .envelope import ServiceError
+
+
+class UnknownSchemaError(ServiceError):
+    """A request named a fingerprint that is not (or no longer) registered."""
+
+    def __init__(self, fingerprint: str):
+        super().__init__(
+            f"no schema registered under fingerprint {fingerprint!r} "
+            f"(it may have been evicted; re-register it)",
+            code="unknown-schema",
+            status=404,
+            detail={"fingerprint": fingerprint},
+        )
+
+
+@dataclass
+class RegisteredSchema:
+    """One resident schema: the parsed model plus its dedicated engine."""
+
+    fingerprint: str
+    schema: Schema
+    engine: Engine
+    syntax: str
+    registered_at: float
+    requests: int = 0
+    info: Dict[str, object] = field(default_factory=dict)
+
+    def describe(self) -> dict:
+        """The JSON description ``GET /schemas`` and ``POST /schemas`` return."""
+        return {
+            "fingerprint": self.fingerprint,
+            "syntax": self.syntax,
+            "root": self.schema.root,
+            "types": sorted(self.schema.tids()),
+            "labels": sorted(self.schema.labels()),
+            "requests": self.requests,
+            **self.info,
+        }
+
+
+def prewarm(schema: Schema, engine: Engine) -> int:
+    """Compile ``schema``'s per-schema artifacts into ``engine``.
+
+    Runs every construction a decision endpoint will need: the symbol
+    alphabet, the inhabited-type set, the schema graph, the reachability
+    object, and the (restricted) content NFA of every collection type.
+    Returns the number of cache entries the engine holds afterwards, so
+    callers can report how much was warmed.
+    """
+    engine.symbol_alphabet(schema)
+    engine.inhabited_types(schema)
+    engine.possible_edges(schema)
+    engine.reach(schema)
+    for tid in schema.tids():
+        if not schema.type(tid).is_atomic:
+            engine.content_nfa(schema, tid)
+            engine.restricted_content_nfa(schema, tid)
+    return len(engine.cache)
+
+
+class SchemaRegistry:
+    """A bounded LRU map from schema fingerprints to compiled schemas."""
+
+    def __init__(
+        self,
+        max_schemas: int = 64,
+        engine_max_entries: Optional[int] = 4096,
+    ):
+        if max_schemas <= 0:
+            raise ValueError("max_schemas must be positive")
+        self.max_schemas = max_schemas
+        self.engine_max_entries = engine_max_entries
+        self._entries: "OrderedDict[str, RegisteredSchema]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._registered = 0
+        self._reregistered = 0
+        self._evicted = 0
+        self._lookups = 0
+        self._lookup_misses = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self, text: str, syntax: str = "scmdl", wrap: bool = False
+    ) -> RegisteredSchema:
+        """Parse, fingerprint, and pre-warm a schema; return its entry.
+
+        Re-registering a schema that is already resident (same
+        fingerprint) is cheap: the existing compiled entry is refreshed in
+        LRU order and returned, with none of the automata rebuilt.
+        """
+        if syntax == "scmdl":
+            schema = parse_schema(text)
+        elif syntax == "dtd":
+            schema = parse_dtd(text, wrap=wrap)
+        else:
+            raise ServiceError(
+                f"unknown schema syntax {syntax!r} (expected 'scmdl' or 'dtd')",
+                code="bad-request",
+            )
+        fingerprint = schema.fingerprint()
+
+        with self._lock:
+            existing = self._entries.get(fingerprint)
+            if existing is not None:
+                self._entries.move_to_end(fingerprint)
+                self._reregistered += 1
+                return existing
+
+        # Compile outside the lock: registrations of distinct schemas
+        # must not serialize on each other's automata construction.
+        engine = Engine(max_entries=self.engine_max_entries)
+        warmed = prewarm(schema, engine)
+        entry = RegisteredSchema(
+            fingerprint=fingerprint,
+            schema=schema,
+            engine=engine,
+            syntax=syntax,
+            registered_at=time.time(),
+            info={"warmed_entries": warmed},
+        )
+
+        with self._lock:
+            racing = self._entries.get(fingerprint)
+            if racing is not None:
+                # A concurrent register() of the same schema won; keep one
+                # entry so counters and cache hits stay coherent.
+                self._entries.move_to_end(fingerprint)
+                self._reregistered += 1
+                return racing
+            self._entries[fingerprint] = entry
+            self._registered += 1
+            while len(self._entries) > self.max_schemas:
+                self._entries.popitem(last=False)
+                self._evicted += 1
+            return entry
+
+    # ------------------------------------------------------------------
+    # Lookup / eviction
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> RegisteredSchema:
+        """The entry for ``fingerprint``; refreshes LRU recency.
+
+        Raises:
+            UnknownSchemaError: if no such schema is resident (404).
+        """
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise ServiceError(
+                "request must name a registered schema 'fingerprint'",
+                code="bad-request",
+            )
+        with self._lock:
+            self._lookups += 1
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self._lookup_misses += 1
+                raise UnknownSchemaError(fingerprint)
+            self._entries.move_to_end(fingerprint)
+            entry.requests += 1
+            return entry
+
+    def evict(self, fingerprint: str) -> bool:
+        """Drop ``fingerprint``; True if it was resident."""
+        with self._lock:
+            entry = self._entries.pop(fingerprint, None)
+            if entry is not None:
+                self._evicted += 1
+            return entry is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def entries(self) -> List[RegisteredSchema]:
+        """A recency-ordered (oldest first) snapshot of resident entries."""
+        with self._lock:
+            return list(self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Registry counters plus each resident engine's cache counters."""
+        with self._lock:
+            entries = list(self._entries.values())
+            counters = {
+                "resident": len(entries),
+                "max_schemas": self.max_schemas,
+                "registered": self._registered,
+                "reregistered": self._reregistered,
+                "evicted": self._evicted,
+                "lookups": self._lookups,
+                "lookup_misses": self._lookup_misses,
+            }
+        engines = {}
+        for entry in entries:
+            stats = entry.engine.stats()
+            engines[entry.fingerprint] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "size": stats.size,
+                "by_kind": {
+                    kind: {"hits": ks.hits, "misses": ks.misses}
+                    for kind, ks in sorted(stats.by_kind.items())
+                },
+            }
+        counters["engines"] = engines
+        return counters

@@ -159,3 +159,86 @@ class TestEngineMemoization:
             assert fresh.stats().misses > 0
         finally:
             set_default_engine(previous)
+
+
+class TestEngineCacheThreadSafety:
+    def test_concurrent_get_or_compute_single_flight(self):
+        """Racing callers of the same key compute it once; counters exact."""
+        import threading
+
+        cache = EngineCache()
+        computes = []
+        barrier = threading.Barrier(8)
+        keys = [("k", i) for i in range(4)]
+
+        def worker():
+            barrier.wait()
+            for _ in range(50):
+                for key in keys:
+                    cache.get_or_compute(
+                        key, lambda key=key: computes.append(key) or key[1]
+                    )
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(computes) == len(keys)  # each key computed exactly once
+        stats = cache.stats()
+        assert stats.misses == len(keys)
+        assert stats.hits + stats.misses == 8 * 50 * len(keys)
+
+    def test_concurrent_lru_bookkeeping_stays_bounded(self):
+        """Heavy churn from many threads never exceeds the LRU bound and
+        never loses an eviction in the counters."""
+        import threading
+
+        cache = EngineCache(max_entries=16)
+        barrier = threading.Barrier(6)
+
+        def worker(seed):
+            barrier.wait()
+            for i in range(200):
+                cache.get_or_compute(("churn", seed, i), lambda: i)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        stats = cache.stats()
+        assert len(cache) <= 16
+        assert stats.misses == 6 * 200
+        assert stats.evictions == stats.misses - len(cache)
+
+    def test_concurrent_engine_use_shares_artifacts(self):
+        """Many threads running conformance through one engine agree and
+        reconcile: per-kind hits+misses equals the call volume."""
+        import threading
+
+        engine = Engine()
+        schema = parse_schema(SCHEMA_TEXT)
+        graph = parse_data(DATA_TEXT)
+        verdicts = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(5):
+                verdicts.append(conforms(graph, schema, engine))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert verdicts == [True] * 40
+        stats = engine.stats()
+        by_kind = stats.by_kind
+        # Each artifact kind was built at most once per (schema, tid) key.
+        assert by_kind["content-nfa"].misses <= len(schema.tids())
+        assert stats.hits + stats.misses == stats.calls

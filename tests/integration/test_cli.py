@@ -87,9 +87,68 @@ class TestCli:
         assert "X=PAPER" in capsys.readouterr().out
 
     def test_infer_json(self, files, capsys):
-        main(["infer", "--schema", files["schema"], files["query"], "--json"])
+        code = main(["infer", "--schema", files["schema"], files["query"], "--json"])
+        assert code == 0
         parsed = json.loads(capsys.readouterr().out)
-        assert parsed == [{"X": "PAPER"}]
+        assert parsed["ok"] is True
+        assert parsed["command"] == "infer"
+        assert parsed["result"]["assignments"] == [{"X": "PAPER"}]
+        assert parsed["result"]["count"] == 1
+        assert parsed["meta"]["exit_code"] == 0
+
+    @pytest.mark.parametrize(
+        "argv, key",
+        [
+            (["validate", "--data"], "valid"),
+            (["satisfiable"], "satisfiable"),
+            (["classify"], "schema_row"),
+        ],
+    )
+    def test_json_envelope_everywhere(self, files, capsys, argv, key):
+        """Every command's --json output is the shared service envelope."""
+        command = argv[0]
+        full = [command, "--schema", files["schema"], "--json"]
+        if argv[-1] == "--data":
+            full += ["--data", files["data"]]
+        else:
+            full.append(files["query"])
+        code = main(full)
+        assert code == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["ok"] is True
+        assert parsed["command"] == command
+        assert key in parsed["result"]
+
+    def test_json_negative_answer_exit_code(self, files, tmp_path, capsys):
+        query = tmp_path / "bad.q"
+        query.write_text("SELECT X WHERE Root = [nothing -> X]")
+        code = main(
+            ["satisfiable", "--schema", files["schema"], str(query), "--json"]
+        )
+        assert code == 1
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["ok"] is True
+        assert parsed["result"]["satisfiable"] is False
+        assert parsed["meta"]["exit_code"] == 1
+
+    def test_json_parse_error_envelope(self, files, tmp_path, capsys):
+        broken = tmp_path / "broken.q"
+        broken.write_text("SELECT WHERE = [")
+        code = main(
+            ["satisfiable", "--schema", files["schema"], str(broken), "--json"]
+        )
+        assert code == 2
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["ok"] is False
+        assert parsed["error"]["code"] == "parse-error"
+        assert parsed["meta"]["exit_code"] == 2
+
+    def test_missing_file_is_usage_error(self, files, capsys):
+        code = main(
+            ["satisfiable", "--schema", "/nonexistent.scmdl", files["query"]]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_feedback(self, files, tmp_path, capsys):
         query = tmp_path / "sloppy.q"
@@ -123,9 +182,10 @@ class TestCli:
         )
         assert code == 0
 
-    def test_missing_schema_errors(self, files):
-        with pytest.raises(SystemExit):
-            main(["satisfiable", files["query"]])
+    def test_missing_schema_errors(self, files, capsys):
+        code = main(["satisfiable", files["query"]])
+        assert code == 2
+        assert "provide --schema" in capsys.readouterr().err
 
 
     def test_satisfiable_witness(self, files, capsys):

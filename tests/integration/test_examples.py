@@ -15,6 +15,11 @@ EXPECTED_SNIPPETS = {
     "optimizer_demo.py": ["Downwards pruning", "Sidewards pruning"],
     "transform_pipeline.py": ["inferred output schema", "True"],
     "np_reduction.py": ["checker: SAT", "witness conforms? True"],
+    "service_quickstart.py": [
+        "satisfiable? True",
+        "XML document valid? True",
+        "service quickstart ok",
+    ],
 }
 
 
