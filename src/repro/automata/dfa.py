@@ -40,6 +40,42 @@ class DFA:
         self.start = start
         self.accepting = frozenset(accepting)
         self.transition = dict(transition)
+        if n_states < 1:
+            raise ValueError(f"a DFA needs at least one state, got {n_states}")
+        if not 0 <= start < n_states:
+            raise ValueError(
+                f"start state {start} out of range 0..{n_states - 1}"
+            )
+        out_of_range = sorted(
+            state for state in self.accepting if not 0 <= state < n_states
+        )
+        if out_of_range:
+            raise ValueError(
+                f"accepting states {out_of_range} out of range 0..{n_states - 1}"
+            )
+        for (src, symbol), dst in self.transition.items():
+            if not 0 <= src < n_states or symbol not in self.alphabet:
+                raise ValueError(
+                    f"transition from ({src}, {symbol!r}) is outside the "
+                    "state space or alphabet"
+                )
+            if not 0 <= dst < n_states:
+                raise ValueError(
+                    f"transition ({src}, {symbol!r}) -> {dst} leaves the "
+                    f"state space 0..{n_states - 1}"
+                )
+        missing = [
+            (state, symbol)
+            for state in range(n_states)
+            for symbol in sorted(self.alphabet, key=repr)
+            if (state, symbol) not in self.transition
+        ]
+        if missing:
+            raise ValueError(
+                "transition function is not total; missing "
+                f"{missing[:3]}{'...' if len(missing) > 3 else ''} "
+                f"({len(missing)} of {n_states * len(self.alphabet)} pairs)"
+            )
 
     def accepts(self, word: Sequence[Symbol]) -> bool:
         """Return True if ``word`` is accepted."""

@@ -13,6 +13,7 @@ Commands
 ``transform``  apply / type-check a Skolem transformation (Section 4.3)
 ``dot``  emit Graphviz DOT for a data graph or a schema graph
 ``serve``  run the typed-query daemon (see ``docs/service.md``)
+``fuzz``  differential-test the decision procedures (see ``docs/testing.md``)
 
 Schemas may be given as ScmDL text (``--schema``) or as a DTD
 (``--dtd``); data graphs as Table-1 text (``--data``) or XML (``--xml``).
@@ -255,6 +256,45 @@ def cmd_classify(args: argparse.Namespace) -> Outcome:
     return EXIT_OK, result
 
 
+def cmd_fuzz(args: argparse.Namespace) -> Outcome:
+    from .oracle import SECTIONS, run_fuzz
+
+    sections = None
+    if args.sections:
+        sections = [name.strip() for name in args.sections.split(",") if name.strip()]
+        unknown = [name for name in sections if name not in SECTIONS]
+        if unknown:
+            raise UsageError(
+                f"unknown sections {unknown}; choose from {sorted(SECTIONS)}"
+            )
+    if args.budget < 1:
+        raise UsageError(f"--budget must be positive, got {args.budget}")
+    report = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        sections=sections,
+        max_len=args.max_len,
+    )
+    result = report.to_dict()
+    if not args.json:
+        for name in report.sections:
+            skipped = report.skipped.get(name, 0)
+            note = f" ({skipped} skipped)" if skipped else ""
+            print(f"{name}: {report.cases.get(name, 0)} cases{note}")
+        if report.ok:
+            print(f"OK: no discrepancies (seed={report.seed})")
+        else:
+            print(f"FOUND {len(report.discrepancies)} discrepancies:")
+            for disc in report.discrepancies:
+                print(
+                    f"  [{disc.section}/{disc.check}] case {disc.case}: "
+                    f"{disc.detail}"
+                )
+                for key, value in disc.inputs.items():
+                    print(f"      {key} = {value}")
+    return (EXIT_OK if report.ok else EXIT_NEGATIVE), result
+
+
 def cmd_serve(args: argparse.Namespace) -> Outcome:
     from .service import SchemaRegistry, ServiceLimits, serve
 
@@ -367,6 +407,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_schema_options(classify_cmd)
     classify_cmd.add_argument("query", help="query file")
+
+    fuzz_cmd = add_command(
+        "fuzz",
+        cmd_fuzz,
+        help="differential-test the decision procedures against oracles",
+    )
+    fuzz_cmd.add_argument(
+        "--seed", type=int, default=0, help="base seed (cases derive from it)"
+    )
+    fuzz_cmd.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="total number of cases, split across sections",
+    )
+    fuzz_cmd.add_argument(
+        "--sections",
+        default=None,
+        help="comma-separated subset: automata,containment,eval,conformance",
+    )
+    fuzz_cmd.add_argument(
+        "--max-len",
+        type=int,
+        default=None,
+        help="word-length bound for the automata/containment oracles",
+    )
 
     serve_cmd = add_command(
         "serve", cmd_serve, help="run the typed-query HTTP daemon"

@@ -1,0 +1,75 @@
+"""Brute-force reference semantics and differential cross-checking.
+
+The production stack decides everything through one optimized pipeline:
+hash-consed regexes -> Thompson NFAs -> products -> state elimination,
+memoized by the engine and served forever from its caches.  Nothing in
+that pipeline is independently verified — a wrong cached artifact would
+be wrong on every future request.  This subpackage is the backstop: small,
+obviously-correct reference implementations of Definitions 2.1–2.3 that
+share *no code* with the automata layer, plus differential runners that
+cross-check the production procedures against them on seeded random
+inputs and greedily shrink any discrepancy to a minimal counterexample.
+
+* :mod:`repro.oracle.rex` — regex membership by Brzozowski derivatives
+  and bounded word enumeration (language equality/containment up to a
+  length bound);
+* :mod:`repro.oracle.eval` — a naive query evaluator that enumerates
+  candidate bindings directly from Definition 2.3;
+* :mod:`repro.oracle.conformance` — conformance by exhaustive search
+  over type assignments (Definition 2.1 checked verbatim);
+* :mod:`repro.oracle.shrink` — greedy shrinking of words, regexes,
+  graphs, schemas, and queries;
+* :mod:`repro.oracle.differential` — the four differential runners and
+  the ``repro fuzz`` entry point (:func:`run_fuzz`).
+
+See ``docs/testing.md`` for how to reproduce a fuzz counterexample.
+"""
+
+from .rex import (
+    brz_accepts,
+    derivative,
+    bounded_language,
+    bounded_counterexample,
+    bounded_equivalent,
+    bounded_subset,
+)
+from .eval import naive_evaluate, naive_satisfies
+from .conformance import (
+    exhaustive_conforms,
+    exhaustive_type_assignment,
+    check_assignment,
+)
+from .shrink import greedy_shrink
+from .differential import (
+    Discrepancy,
+    FuzzReport,
+    SECTIONS,
+    run_automata_section,
+    run_conformance_section,
+    run_containment_section,
+    run_eval_section,
+    run_fuzz,
+)
+
+__all__ = [
+    "Discrepancy",
+    "FuzzReport",
+    "SECTIONS",
+    "bounded_counterexample",
+    "bounded_equivalent",
+    "bounded_language",
+    "bounded_subset",
+    "brz_accepts",
+    "check_assignment",
+    "derivative",
+    "exhaustive_conforms",
+    "exhaustive_type_assignment",
+    "greedy_shrink",
+    "naive_evaluate",
+    "naive_satisfies",
+    "run_automata_section",
+    "run_conformance_section",
+    "run_containment_section",
+    "run_eval_section",
+    "run_fuzz",
+]

@@ -1,0 +1,123 @@
+"""Conformance by exhaustive type-assignment search (Definition 2.1).
+
+The production checker (:mod:`repro.schema.conformance`) refines
+candidate sets to a fixpoint and searches only over referenceable nodes,
+delegating word problems to the automata layer.  This oracle instead
+enumerates *every* kind-compatible total assignment ``oid -> tid`` and
+checks the four conditions of Definition 2.1 verbatim:
+
+1. the root maps to the root type;
+2. referenceable nodes map to referenceable types;
+3. atomic nodes map to atomic types containing their value;
+4. a collection node's typed edge sequence ``(label, tau(target))...``
+   is in the type's regex language — for unordered nodes, some
+   permutation of it is.
+
+Regex membership uses Brzozowski derivatives (:mod:`repro.oracle.rex`)
+and unordered membership literally tries the distinct permutations, so
+nothing is shared with the NFA/bag machinery under test.  Exponential in
+the number of nodes; meant for the small graphs the fuzzers produce.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..data.model import AtomicValue, DataGraph, Node
+from ..schema.model import Schema, TypeDef
+from .rex import brz_accepts
+
+#: Cap on ``prod(len(candidates))`` before enumeration is refused.
+MAX_ASSIGNMENTS = 200_000
+
+
+def _value_in_atomic(atomic: str, value: AtomicValue) -> bool:
+    if atomic == "string":
+        return isinstance(value, str)
+    if atomic == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if atomic == "float":
+        return isinstance(value, float)
+    return False
+
+
+def _kind_ok(node: Node, type_def: TypeDef) -> bool:
+    if node.is_referenceable and not type_def.is_referenceable:
+        return False
+    if node.is_atomic:
+        return type_def.is_atomic and _value_in_atomic(type_def.atomic, node.value)
+    if node.is_ordered:
+        return type_def.is_ordered
+    return type_def.is_unordered
+
+
+def check_assignment(
+    graph: DataGraph, schema: Schema, assignment: Dict[str, str]
+) -> bool:
+    """Check a total assignment against Definition 2.1, condition by condition."""
+    if assignment.get(graph.root) != schema.root:
+        return False
+    for node in graph:
+        tid = assignment.get(node.oid)
+        if tid is None or tid not in schema:
+            return False
+        type_def = schema.type(tid)
+        if not _kind_ok(node, type_def):
+            return False
+        if node.is_atomic:
+            continue
+        typed = tuple(
+            (edge.label, assignment[edge.target]) for edge in node.edges
+        )
+        if node.is_ordered:
+            if not brz_accepts(type_def.regex, typed):
+                return False
+        else:
+            if not any(
+                brz_accepts(type_def.regex, ordering)
+                for ordering in set(itertools.permutations(typed))
+            ):
+                return False
+    return True
+
+
+def exhaustive_type_assignment(
+    graph: DataGraph,
+    schema: Schema,
+    max_assignments: int = MAX_ASSIGNMENTS,
+) -> Optional[Dict[str, str]]:
+    """Search all compatible assignments; return the first that checks out.
+
+    Raises:
+        ValueError: if the candidate product exceeds ``max_assignments``
+            (the caller should shrink its inputs instead of waiting).
+    """
+    oids = sorted(graph.nodes)
+    candidates: List[List[str]] = []
+    for oid in oids:
+        node = graph.node(oid)
+        options = [t.tid for t in schema if _kind_ok(node, t)]
+        if oid == graph.root:
+            options = [tid for tid in options if tid == schema.root]
+        if not options:
+            return None
+        candidates.append(options)
+    total = 1
+    for options in candidates:
+        total *= len(options)
+        if total > max_assignments:
+            raise ValueError(
+                f"assignment space too large for exhaustive search ({total}+ "
+                f"candidates over {len(oids)} nodes)"
+            )
+    for combo in itertools.product(*candidates):
+        assignment = dict(zip(oids, combo))
+        if check_assignment(graph, schema, assignment):
+            return assignment
+    return None
+
+
+def exhaustive_conforms(graph: DataGraph, schema: Schema) -> bool:
+    """True if some total type assignment satisfies Definition 2.1."""
+    return exhaustive_type_assignment(graph, schema) is not None

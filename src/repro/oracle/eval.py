@@ -1,0 +1,164 @@
+"""A naive query evaluator: candidate bindings straight from Definition 2.3.
+
+The production evaluator (:mod:`repro.query.eval`) interleaves binding
+extension with memoized NFA path search.  This oracle instead enumerates
+*every* total candidate binding — node variables over all oids (the root
+variable pinned to the root), label variables over all edge labels, value
+variables over all atomic values — and then checks each pattern
+definition of the query literally against the definition:
+
+1. the root variable binds the root, referenceable variables bind
+   referenceable nodes;
+2. constant patterns need an atomic node with that value;
+3. value-variable patterns need the variable bound to the node's value;
+4. each arm ``R -> Y`` of a collection pattern needs a witness path from
+   the node to the binding of ``Y`` whose label word is in ``lang(R)``
+   (label-variable arms need a single edge carrying the bound label);
+5. ordered patterns additionally need a choice of witness first edges
+   with strictly increasing child positions along every declared order
+   constraint (:meth:`~repro.query.model.PatternDef.order_pairs`).
+
+Path existence is decided on the product of the graph with Brzozowski
+derivatives of the arm's path expression (:mod:`repro.oracle.rex`), so no
+automata code is shared with the implementation under test.  Exponential
+in the number of variables — intended for the small graphs and queries
+the fuzz generators produce.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..automata.syntax import Empty, Regex
+from ..data.model import AtomicValue, DataGraph, Node
+from ..query.model import PatternDef, PatternKind, Query
+from .rex import brz_accepts, derivative
+
+#: A projected result row, as the production ``evaluate`` returns it.
+Binding = Dict[str, object]
+
+
+def naive_evaluate(query: Query, graph: DataGraph) -> List[Binding]:
+    """Evaluate by brute force; returns distinct SELECT-projected bindings.
+
+    The result is order-normalized (sorted by repr) — compare as sets
+    against the production evaluator's output.
+    """
+    rows: Set[Tuple[Tuple[str, object], ...]] = set()
+    for binding in _candidate_bindings(query, graph):
+        if _binding_satisfies(query, graph, binding):
+            rows.add(tuple(sorted((name, binding[name]) for name in query.select)))
+    return [dict(row) for row in sorted(rows, key=repr)]
+
+
+def naive_satisfies(query: Query, graph: DataGraph) -> bool:
+    """True if at least one candidate binding satisfies the query."""
+    for binding in _candidate_bindings(query, graph):
+        if _binding_satisfies(query, graph, binding):
+            return True
+    return False
+
+
+def _candidate_bindings(query: Query, graph: DataGraph) -> Iterator[Binding]:
+    """Every total assignment of the query's variables to graph values."""
+    node_vars = [var for var in query.node_vars() if var != query.root_var]
+    label_vars = list(query.label_vars())
+    value_vars = list(query.value_vars())
+    oids = sorted(graph.nodes)
+    labels = sorted(graph.labels())
+    values = sorted(graph.atomic_values(), key=repr)
+    root_node = graph.root_node
+    if query.root_var.startswith("&") and not root_node.is_referenceable:
+        return
+    for node_combo in itertools.product(oids, repeat=len(node_vars)):
+        if any(
+            var.startswith("&") and not graph.node(oid).is_referenceable
+            for var, oid in zip(node_vars, node_combo)
+        ):
+            continue
+        base: Binding = {query.root_var: graph.root}
+        base.update(zip(node_vars, node_combo))
+        for label_combo in itertools.product(labels, repeat=len(label_vars)):
+            for value_combo in itertools.product(values, repeat=len(value_vars)):
+                binding = dict(base)
+                binding.update(zip(label_vars, label_combo))
+                binding.update(zip(value_vars, value_combo))
+                yield binding
+
+
+def _binding_satisfies(query: Query, graph: DataGraph, binding: Binding) -> bool:
+    return all(
+        _pattern_holds(graph, pattern, binding) for pattern in query.patterns
+    )
+
+
+def _pattern_holds(graph: DataGraph, pattern: PatternDef, binding: Binding) -> bool:
+    node = graph.node(binding[pattern.var])
+    if pattern.kind is PatternKind.VALUE:
+        return node.is_atomic and node.value == pattern.value
+    if pattern.kind is PatternKind.VALUE_VAR:
+        return node.is_atomic and binding["$" + pattern.value_var] == node.value
+    if pattern.is_ordered != node.is_ordered or node.is_atomic:
+        return False
+    first_edge_sets: List[FrozenSet[int]] = []
+    for arm in pattern.arms:
+        if arm.is_label_var:
+            label = binding["$" + arm.path.name]
+            allowed = frozenset(
+                index
+                for index, edge in enumerate(node.edges)
+                if edge.label == label and edge.target == binding[arm.target]
+            )
+        else:
+            allowed = _witness_first_edges(
+                graph, node, arm.path, str(binding[arm.target])
+            )
+        if not allowed:
+            return False
+        first_edge_sets.append(allowed)
+    if not pattern.is_ordered:
+        return True
+    order_pairs = pattern.order_pairs()
+    for combo in itertools.product(*first_edge_sets):
+        if all(combo[i] < combo[j] for i, j in order_pairs):
+            return True
+    return False
+
+
+def _witness_first_edges(
+    graph: DataGraph, node: Node, regex: Regex, target: str
+) -> FrozenSet[int]:
+    """First-edge positions of witness paths from ``node`` to ``target``.
+
+    Position ``i`` qualifies iff some path starting with the node's i-th
+    edge ends at ``target`` with its label word in ``lang(regex)``.
+    Search runs over (oid, residual-derivative) pairs; canonicalized
+    derivatives keep the state space finite on cyclic graphs.
+    """
+    witnesses: Set[int] = set()
+    for index, edge in enumerate(node.edges):
+        residual = derivative(regex, edge.label)
+        if isinstance(residual, Empty):
+            continue
+        if _path_reaches(graph, edge.target, residual, target):
+            witnesses.add(index)
+    return frozenset(witnesses)
+
+
+def _path_reaches(graph: DataGraph, oid: str, regex: Regex, target: str) -> bool:
+    """True if a path from ``oid`` ends at ``target`` with word in ``lang(regex)``."""
+    seen: Set[Tuple[str, Regex]] = set()
+    stack: List[Tuple[str, Regex]] = [(oid, regex)]
+    while stack:
+        current, residual = stack.pop()
+        if (current, residual) in seen:
+            continue
+        seen.add((current, residual))
+        if current == target and residual.nullable():
+            return True
+        for edge in graph.node(current).edges:
+            stepped = derivative(residual, edge.label)
+            if not isinstance(stepped, Empty):
+                stack.append((edge.target, stepped))
+    return False

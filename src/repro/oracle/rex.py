@@ -1,0 +1,166 @@
+"""Reference regex semantics: Brzozowski derivatives, bounded enumeration.
+
+This is the oracle side of the automata differential checks.  Membership
+is decided purely on the syntax tree — ``w in lang(R)`` iff the iterated
+derivative of ``R`` by the symbols of ``w`` is nullable — so it shares no
+code with the Thompson/subset/minimization pipeline it is used to verify.
+
+Derivatives are canonicalized (alternation parts sorted and deduplicated)
+so the set of derivatives of a fixed expression is finite modulo the
+usual ACI identities; bounded language enumeration walks the derivative
+tree and prunes branches whose residual is the empty language, which the
+smart constructors float to a literal :class:`~repro.automata.syntax.Empty`
+node.
+
+The wildcard ``_`` is interpreted the same way :func:`repro.automata.nfa.
+thompson` interprets it: it matches exactly the symbols of the alphabet
+the word is drawn from, so derivatives here take ``d_s(_) = epsilon`` for
+every alphabet symbol ``s``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..automata.syntax import (
+    EMPTY,
+    EPSILON,
+    Alt,
+    Any,
+    Concat,
+    Empty,
+    Epsilon,
+    Regex,
+    Star,
+    Sym,
+    Symbol,
+    alt,
+    concat,
+)
+
+#: A word over the (arbitrary hashable) symbol vocabulary.
+Word = Tuple[Symbol, ...]
+
+
+def _canonical_alt(*parts: Regex) -> Regex:
+    """Alternation with parts sorted by repr: canonical modulo ACI.
+
+    The smart constructor already flattens and deduplicates; sorting on
+    top makes ``a|b`` and ``b|a`` the same node, which keeps the set of
+    iterated derivatives finite (Brzozowski's theorem needs exactly
+    associativity, commutativity, and idempotence of ``|``).
+    """
+    flattened = alt(*parts)
+    if isinstance(flattened, Alt):
+        return Alt(tuple(sorted(flattened.parts, key=repr)))
+    return flattened
+
+
+def derivative(regex: Regex, symbol: Symbol) -> Regex:
+    """The Brzozowski derivative ``d_symbol(regex)``.
+
+    ``w . rest in lang(R)`` iff ``rest in lang(d_w(R))``; a word is a
+    member iff the iterated derivative is nullable.
+    """
+    if isinstance(regex, (Empty, Epsilon)):
+        return EMPTY
+    if isinstance(regex, Sym):
+        return EPSILON if regex.symbol == symbol else EMPTY
+    if isinstance(regex, Any):
+        return EPSILON
+    if isinstance(regex, Alt):
+        return _canonical_alt(*(derivative(part, symbol) for part in regex.parts))
+    if isinstance(regex, Concat):
+        head, tail = regex.parts[0], concat(*regex.parts[1:])
+        result = concat(derivative(head, symbol), tail)
+        if head.nullable():
+            result = _canonical_alt(result, derivative(tail, symbol))
+        return result
+    if isinstance(regex, Star):
+        return concat(derivative(regex.inner, symbol), regex)
+    raise TypeError(f"unknown regex node: {regex!r}")
+
+
+def brz_accepts(regex: Regex, word: Iterable[Symbol]) -> bool:
+    """Decide ``word in lang(regex)`` by iterated derivatives."""
+    current = regex
+    for symbol in word:
+        current = derivative(current, symbol)
+        if isinstance(current, Empty):
+            return False
+    return current.nullable()
+
+
+def bounded_language(
+    regex: Regex, alphabet: Iterable[Symbol], max_length: int
+) -> FrozenSet[Word]:
+    """All words of ``lang(regex)`` of length at most ``max_length``.
+
+    Walks the derivative tree breadth-first, pruning residuals that are
+    the empty language (exact: with the smart constructors, a node has an
+    empty language iff it *is* the ``Empty`` node).
+    """
+    return frozenset(enumerate_words(regex, alphabet, max_length))
+
+
+def enumerate_words(
+    regex: Regex, alphabet: Iterable[Symbol], max_length: int
+) -> Iterator[Word]:
+    """Yield the bounded language shortest-first (ties by symbol repr)."""
+    symbols = sorted(frozenset(alphabet), key=repr)
+    frontier: List[Tuple[Word, Regex]] = [((), regex)]
+    for _length in range(max_length + 1):
+        next_frontier: List[Tuple[Word, Regex]] = []
+        for word, residual in frontier:
+            if residual.nullable():
+                yield word
+            for symbol in symbols:
+                stepped = derivative(residual, symbol)
+                if not isinstance(stepped, Empty):
+                    next_frontier.append((word + (symbol,), stepped))
+        frontier = next_frontier
+
+
+def bounded_subset(
+    left: Regex, right: Regex, alphabet: Iterable[Symbol], max_length: int
+) -> Optional[Word]:
+    """A shortest word of ``lang(left) \\ lang(right)`` up to the bound.
+
+    Returns None if every word of the left language with length at most
+    ``max_length`` also belongs to the right language.  This refutes
+    containment claims exactly and confirms them up to the bound.
+    """
+    for word in enumerate_words(left, alphabet, max_length):
+        if not brz_accepts(right, word):
+            return word
+    return None
+
+
+def bounded_counterexample(
+    left: Regex, right: Regex, alphabet: Iterable[Symbol], max_length: int
+) -> Optional[Word]:
+    """A shortest word on which the two languages disagree, up to the bound."""
+    alphabet = frozenset(alphabet)
+    witness = bounded_subset(left, right, alphabet, max_length)
+    other = bounded_subset(right, left, alphabet, max_length)
+    if witness is None:
+        return other
+    if other is None:
+        return witness
+    return min((witness, other), key=lambda w: (len(w), repr(w)))
+
+
+def bounded_equivalent(
+    left: Regex, right: Regex, alphabet: Iterable[Symbol], max_length: int
+) -> bool:
+    """Language equality restricted to words of length at most the bound."""
+    return bounded_counterexample(left, right, alphabet, max_length) is None
+
+
+def all_words(alphabet: Iterable[Symbol], max_length: int) -> Iterator[Word]:
+    """Every word over ``alphabet`` of length at most ``max_length``."""
+    symbols = sorted(frozenset(alphabet), key=repr)
+    for length in range(max_length + 1):
+        for combo in itertools.product(symbols, repeat=length):
+            yield combo

@@ -1,0 +1,255 @@
+"""Greedy shrinking of differential counterexamples.
+
+When a differential runner finds a discrepancy, the raw random input is
+rarely readable.  :func:`greedy_shrink` repeatedly replaces the failing
+input by the first *smaller* candidate that still fails the predicate,
+until no candidate does — a local minimum, reported as the counterexample.
+
+Candidate generators are provided per input shape (words, regexes, data
+graphs, schemas, queries).  They only propose structurally smaller
+values, so shrinking always terminates; proposals that fail to build
+(e.g. a graph that loses well-formedness when a node is dropped) are
+skipped by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple, TypeVar
+
+from ..automata.syntax import (
+    EPSILON,
+    Alt,
+    Concat,
+    Epsilon,
+    Regex,
+    Star,
+    Sym,
+    alt,
+    concat,
+    star,
+)
+from ..data.model import DataGraph, Node
+from ..query.model import PatternArm, PatternDef, PatternKind, Query
+from ..schema.model import Schema, TypeDef
+
+T = TypeVar("T")
+
+#: A candidate generator: proposes strictly smaller variants of a value.
+Candidates = Callable[[T], Iterable[T]]
+
+
+def greedy_shrink(
+    value: T,
+    candidates: Candidates,
+    still_fails: Callable[[T], bool],
+    max_steps: int = 500,
+) -> T:
+    """Shrink ``value`` while ``still_fails`` holds; return a local minimum.
+
+    ``still_fails`` must be True for ``value`` itself; candidates raising
+    any exception are treated as not failing (skipped).
+    """
+    current = value
+    for _step in range(max_steps):
+        for candidate in candidates(current):
+            try:
+                fails = still_fails(candidate)
+            except Exception:
+                fails = False
+            if fails:
+                current = candidate
+                break
+        else:
+            return current
+    return current
+
+
+# ----------------------------------------------------------------------
+# Words
+# ----------------------------------------------------------------------
+
+
+def word_candidates(word: Sequence) -> Iterator[Tuple]:
+    """Drop chunks first (halves), then single symbols."""
+    word = tuple(word)
+    n = len(word)
+    if n >= 2:
+        yield word[: n // 2]
+        yield word[n // 2 :]
+    for index in range(n):
+        yield word[:index] + word[index + 1 :]
+
+
+# ----------------------------------------------------------------------
+# Regexes
+# ----------------------------------------------------------------------
+
+
+def regex_candidates(regex: Regex) -> Iterator[Regex]:
+    """Children first, then one-part deletions, then recursive rewrites."""
+    for child in regex.children():
+        yield child
+    if isinstance(regex, (Alt, Concat)):
+        build = alt if isinstance(regex, Alt) else concat
+        for index in range(len(regex.parts)):
+            yield build(*(p for i, p in enumerate(regex.parts) if i != index))
+    if isinstance(regex, Star):
+        yield EPSILON
+        for inner in regex_candidates(regex.inner):
+            yield star(inner)
+    if isinstance(regex, (Alt, Concat)):
+        build = alt if isinstance(regex, Alt) else concat
+        for index, part in enumerate(regex.parts):
+            for replacement in regex_candidates(part):
+                parts = list(regex.parts)
+                parts[index] = replacement
+                yield build(*parts)
+    if isinstance(regex, Sym):
+        yield EPSILON
+
+
+def regex_size(regex: Regex) -> int:
+    """Node count of the syntax tree (shrinking quality metric)."""
+    return sum(1 for _node in regex.walk())
+
+
+# ----------------------------------------------------------------------
+# Data graphs
+# ----------------------------------------------------------------------
+
+
+def graph_candidates(graph: DataGraph) -> Iterator[DataGraph]:
+    """Drop a non-root node (with its incoming edges), or a single edge.
+
+    Each proposal re-validates; ill-formed results are filtered out here
+    so the shrink loop only sees well-formed graphs.
+    """
+    oids = [oid for oid in graph.nodes if oid != graph.root]
+    for dropped in oids:
+        survivors = []
+        for node in graph:
+            if node.oid == dropped:
+                continue
+            kept = [e for e in node.edges if e.target != dropped]
+            survivors.append(_with_edges(node, kept))
+        candidate = _try_graph(survivors)
+        if candidate is not None:
+            yield candidate
+    for oid in graph.nodes:
+        node = graph.node(oid)
+        for index in range(len(node.edges)):
+            kept = node.edges[:index] + node.edges[index + 1 :]
+            survivors = [
+                _with_edges(other, kept) if other.oid == oid else other
+                for other in graph
+            ]
+            candidate = _try_graph(survivors)
+            if candidate is not None:
+                yield candidate
+
+
+def _with_edges(node: Node, edges) -> Node:
+    if node.is_atomic:
+        return node
+    return Node(node.oid, node.kind, edges=edges)
+
+
+def _try_graph(nodes: List[Node]):
+    try:
+        return DataGraph(nodes, validate=True)
+    except ValueError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Schemas
+# ----------------------------------------------------------------------
+
+
+def schema_candidates(schema: Schema) -> Iterator[Schema]:
+    """Drop an unreferenced non-root type, or shrink one type's regex."""
+    tids = schema.tids()
+    referenced = {schema.root}
+    for type_def in schema:
+        referenced.update(target for _label, target in type_def.symbols())
+    for dropped in tids:
+        if dropped in referenced:
+            continue
+        candidate = _try_schema(
+            [schema.type(tid) for tid in tids if tid != dropped]
+        )
+        if candidate is not None:
+            yield candidate
+    for tid in tids:
+        type_def = schema.type(tid)
+        if type_def.regex is None:
+            continue
+        for smaller in regex_candidates(type_def.regex):
+            try:
+                replacement = TypeDef(tid, type_def.kind, regex=smaller)
+            except ValueError:
+                continue
+            candidate = _try_schema(
+                [replacement if t == tid else schema.type(t) for t in tids]
+            )
+            if candidate is not None:
+                yield candidate
+
+
+def _try_schema(types: List[TypeDef]):
+    try:
+        return Schema(types, validate=True)
+    except ValueError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+
+
+def query_candidates(query: Query) -> Iterator[Query]:
+    """Drop a SELECT variable, a pattern definition, or a single arm."""
+    for index in range(len(query.select)):
+        select = query.select[:index] + query.select[index + 1 :]
+        candidate = _try_query(select, list(query.patterns))
+        if candidate is not None:
+            yield candidate
+    for index in range(1, len(query.patterns)):
+        patterns = [p for i, p in enumerate(query.patterns) if i != index]
+        candidate = _try_query(list(query.select), patterns)
+        if candidate is not None:
+            yield candidate
+    for p_index, pattern in enumerate(query.patterns):
+        if not pattern.is_collection or len(pattern.arms) <= 1:
+            continue
+        for a_index in range(len(pattern.arms)):
+            arms = [a for i, a in enumerate(pattern.arms) if i != a_index]
+            partial = None
+            if pattern.partial_order is not None:
+                partial = [
+                    (i - (i > a_index), j - (j > a_index))
+                    for i, j in pattern.partial_order
+                    if i != a_index and j != a_index
+                ]
+            try:
+                smaller = PatternDef(
+                    pattern.var, pattern.kind, arms=arms, partial_order=partial
+                )
+            except ValueError:
+                continue
+            patterns = [
+                smaller if i == p_index else p
+                for i, p in enumerate(query.patterns)
+            ]
+            candidate = _try_query(list(query.select), patterns)
+            if candidate is not None:
+                yield candidate
+
+
+def _try_query(select: List[str], patterns: List[PatternDef]):
+    try:
+        return Query(select, patterns, validate=True)
+    except ValueError:
+        return None

@@ -10,9 +10,12 @@ value variables to atomic values, subject to:
 5. collection patterns are *satisfied* at the bound node per Definition
    2.2: each arm ``R -> Y`` is witnessed by a path from the node to the
    binding of ``Y`` whose label word is in ``lang(R)``; for ordered
-   patterns the witness paths are ordered (their first edges are distinct
-   and appear in increasing child positions — the paper's design choice),
-   while unordered patterns use set semantics and may overlap arbitrarily.
+   patterns there must be a choice of witness first edges whose child
+   positions strictly increase along every constraint in
+   :meth:`~repro.query.model.PatternDef.order_pairs` (the full arm-list
+   chain by default, the declared pairs for partially ordered patterns) —
+   arms not related by any constraint may share a first edge — while
+   unordered patterns use set semantics and may overlap arbitrarily.
 
 Ordered patterns match only ordered nodes and unordered patterns only
 unordered nodes, mirroring the kind split in Definition 2.2.
@@ -30,7 +33,7 @@ from ..automata.nfa import NFA
 from ..automata.syntax import Regex
 from ..data.model import AtomicValue, DataGraph
 from ..engine import Engine, get_default_engine
-from .model import LabelVar, PatternDef, PatternKind, Query
+from .model import LabelVar, PatternDef, PatternKind, Query, QueryError
 
 #: A binding: node vars map to oids, ``$``-prefixed label/value variables
 #: map to labels and atomic values respectively.
@@ -112,6 +115,17 @@ def evaluate(
         limit: stop after this many distinct projected bindings (useful for
             existence checks and large result spaces).
     """
+    known = (
+        set(query.node_vars()) | set(query.label_vars()) | set(query.value_vars())
+    )
+    unbound = [name for name in query.select if name not in known]
+    if unbound:
+        # Reachable only for queries built with validate=False; validated
+        # queries reject such SELECT clauses at construction time.
+        raise QueryError(
+            f"SELECT references variables never bound by the patterns: "
+            f"{sorted(set(unbound))}"
+        )
     results: List[Binding] = []
     seen: Set[Tuple] = set()
     for binding in iterate_bindings(query, graph, engine):

@@ -311,6 +311,7 @@ class Query:
             )
         self._check_connected()
         self._check_variable_sorts()
+        self._check_select()
 
     def _check_connected(self) -> None:
         adjacency: Dict[str, List[str]] = {}
@@ -337,6 +338,17 @@ class Query:
         if clash:
             raise QueryError(
                 f"variables used both as label and value variables: {sorted(clash)}"
+            )
+
+    def _check_select(self) -> None:
+        known = (
+            set(self.node_vars()) | set(self.label_vars()) | set(self.value_vars())
+        )
+        unknown = [name for name in self.select if name not in known]
+        if unknown:
+            raise QueryError(
+                f"SELECT references variables never bound by the patterns: "
+                f"{sorted(set(unknown))} (known: {sorted(known)})"
             )
 
     # ------------------------------------------------------------------

@@ -5,6 +5,13 @@ query family per column, plus conforming-instance enumeration/sampling
 used by the Section 4.2 oracle and the property tests.
 """
 
+from .generators import (
+    random_graph,
+    random_path_regex,
+    random_query,
+    random_regex,
+    random_schema,
+)
 from .instances import (
     enumerate_instances,
     random_instance,
@@ -39,8 +46,13 @@ __all__ = [
     "enumerate_instances",
     "join_schema",
     "random_dtd",
+    "random_graph",
     "random_instance",
     "random_join_free_query",
+    "random_path_regex",
+    "random_query",
+    "random_regex",
+    "random_schema",
     "star_fanout_query",
     "union_chain_schema",
     "unordered_schema",

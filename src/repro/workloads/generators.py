@@ -1,0 +1,326 @@
+"""Seeded random generators for the differential fuzzing subsystem.
+
+Everything here is driven by an explicit :class:`random.Random` so that a
+``(seed, case)`` pair pins the exact input — the property of the whole
+oracle layer that makes ``repro fuzz`` counterexamples reproducible (see
+``docs/testing.md``).  The shapes are deliberately small: the brute-force
+oracles in :mod:`repro.oracle` are exponential in nodes/variables, so the
+fuzzers trade input size for case count.
+
+Unlike the benchmark families in :mod:`repro.workloads.schemas` and
+:mod:`repro.workloads.queries` (which target specific Table-2 cells),
+these generators aim for *coverage*: regexes with all constructors,
+schemas mixing ordered/unordered/referenceable types, graphs with
+sharing and cycles through referenceable nodes, queries with value
+patterns, label variables, nesting, and partial orders.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..automata.syntax import (
+    ANY,
+    EPSILON,
+    Regex,
+    Sym,
+    alt,
+    concat,
+    opt,
+    star,
+)
+from ..data.model import DataGraph, Edge, Node, NodeKind
+from ..query.model import LabelVar, PatternArm, PatternDef, PatternKind, Query
+from ..schema.model import Schema, TypeDef, TypeKind
+
+#: Default symbol vocabulary for plain-regex fuzzing.
+DEFAULT_ALPHABET: Tuple[str, ...] = ("a", "b", "c")
+
+#: Default atomic values used by the graph generator.
+DEFAULT_VALUES: Tuple[object, ...] = ("v", "w", 1, 2.5)
+
+
+def random_regex(
+    rng: random.Random,
+    symbols: Sequence[object] = DEFAULT_ALPHABET,
+    max_depth: int = 3,
+    allow_wildcard: bool = False,
+    allow_epsilon: bool = True,
+) -> Regex:
+    """A random regex built from the full constructor set.
+
+    The smart constructors may simplify the raw shape (that is the
+    point: fuzz what users can actually build).  The result never
+    denotes the empty language.
+    """
+
+    def build(depth: int) -> Regex:
+        if depth <= 0:
+            return _leaf()
+        roll = rng.random()
+        if roll < 0.35:
+            return _leaf()
+        if roll < 0.60:
+            return concat(*(build(depth - 1) for _ in range(rng.randint(2, 3))))
+        if roll < 0.85:
+            return alt(*(build(depth - 1) for _ in range(rng.randint(2, 3))))
+        if roll < 0.95:
+            return star(build(depth - 1))
+        return opt(build(depth - 1))
+
+    def _leaf() -> Regex:
+        if allow_wildcard and rng.random() < 0.15:
+            return ANY
+        if allow_epsilon and rng.random() < 0.10:
+            return EPSILON
+        return Sym(rng.choice(list(symbols)))
+
+    return build(max_depth)
+
+
+def random_path_regex(
+    rng: random.Random,
+    labels: Sequence[str],
+    max_depth: int = 2,
+) -> Regex:
+    """A random *path* expression: non-nullable, non-empty (Table 1 rule)."""
+    regex = random_regex(rng, labels, max_depth, allow_wildcard=True)
+    if regex.nullable() or regex.is_empty_language():
+        regex = concat(Sym(rng.choice(list(labels))), regex)
+    return regex
+
+
+def random_schema(
+    rng: random.Random,
+    n_types: int = 4,
+    labels: Sequence[str] = DEFAULT_ALPHABET,
+    allow_unordered: bool = True,
+    allow_referenceable: bool = True,
+) -> Schema:
+    """A random well-formed schema with every type inhabited.
+
+    Type ``i`` references only higher-numbered types, so the definition
+    graph is acyclic and inhabitation follows by induction (content
+    regexes are never the empty language).  Kinds mix ordered, unordered,
+    and atomic; later types may be referenceable so that graphs with
+    shared nodes have something to conform to.
+    """
+    refable = [
+        allow_referenceable and index > 0 and rng.random() < 0.3
+        for index in range(n_types)
+    ]
+
+    def tid(index: int) -> str:
+        return ("&" if refable[index] else "") + f"T{index}"
+
+    types: List[TypeDef] = []
+    for index in range(n_types):
+        later = list(range(index + 1, n_types))
+        if not later or (index > 0 and rng.random() < 0.3):
+            atomic = rng.choice(("string", "int", "float"))
+            types.append(TypeDef(tid(index), TypeKind.ATOMIC, atomic=atomic))
+            continue
+        atoms = [
+            Sym((rng.choice(list(labels)), tid(child)))
+            for child in rng.sample(later, rng.randint(1, min(3, len(later))))
+        ]
+        regex = _regex_over_atoms(rng, atoms, max_depth=2)
+        kind = (
+            TypeKind.UNORDERED
+            if allow_unordered and rng.random() < 0.35
+            else TypeKind.ORDERED
+        )
+        types.append(TypeDef(tid(index), kind, regex=regex))
+    return Schema(types)
+
+
+def _regex_over_atoms(
+    rng: random.Random, atoms: List[Regex], max_depth: int
+) -> Regex:
+    def build(depth: int) -> Regex:
+        if depth <= 0 or rng.random() < 0.4:
+            return rng.choice(atoms)
+        roll = rng.random()
+        if roll < 0.40:
+            return concat(*(build(depth - 1) for _ in range(rng.randint(2, 3))))
+        if roll < 0.75:
+            return alt(*(build(depth - 1) for _ in range(2)))
+        if roll < 0.90:
+            return star(build(depth - 1))
+        return opt(build(depth - 1))
+
+    return build(max_depth)
+
+
+def random_graph(
+    rng: random.Random,
+    labels: Sequence[str] = DEFAULT_ALPHABET,
+    max_nodes: int = 6,
+    values: Sequence[object] = DEFAULT_VALUES,
+    share_probability: float = 0.3,
+) -> DataGraph:
+    """A random well-formed data graph (not necessarily conforming to
+    anything).
+
+    A spanning tree guarantees reachability from the root; extra edges —
+    only ever pointing at referenceable nodes, per the Section-2 rules —
+    introduce sharing and possibly cycles.
+    """
+    n_nodes = rng.randint(1, max_nodes)
+    kinds: List[NodeKind] = []
+    oids: List[str] = []
+    for index in range(n_nodes):
+        if index == 0 and n_nodes > 1:
+            kind = rng.choice((NodeKind.ORDERED, NodeKind.UNORDERED))
+        else:
+            kind = rng.choice(
+                (NodeKind.ORDERED, NodeKind.UNORDERED, NodeKind.ATOMIC)
+            )
+        referenceable = index > 0 and rng.random() < 0.35
+        kinds.append(kind)
+        oids.append(("&" if referenceable else "") + f"o{index}")
+    edges: List[List[Edge]] = [[] for _ in range(n_nodes)]
+    collection_indexes = [
+        i for i, kind in enumerate(kinds) if kind is not NodeKind.ATOMIC
+    ]
+    for index in range(1, n_nodes):
+        parents = [i for i in collection_indexes if i < index]
+        if not parents:
+            # Root was atomic: re-home the whole suffix under node 0.
+            kinds[0] = NodeKind.ORDERED
+            collection_indexes.insert(0, 0)
+            parents = [0]
+        parent = rng.choice(parents)
+        edges[parent].append(Edge(rng.choice(list(labels)), oids[index]))
+    referenceable_targets = [oid for oid in oids[1:] if oid.startswith("&")]
+    if referenceable_targets:
+        for index in collection_indexes:
+            while rng.random() < share_probability:
+                edges[index].append(
+                    Edge(rng.choice(list(labels)), rng.choice(referenceable_targets))
+                )
+    nodes: List[Node] = []
+    for index in range(n_nodes):
+        if kinds[index] is NodeKind.ATOMIC and edges[index]:
+            kinds[index] = NodeKind.ORDERED
+        if kinds[index] is NodeKind.ATOMIC:
+            nodes.append(
+                Node(oids[index], NodeKind.ATOMIC, value=rng.choice(list(values)))
+            )
+        else:
+            shuffled = list(edges[index])
+            rng.shuffle(shuffled)
+            nodes.append(Node(oids[index], kinds[index], edges=shuffled))
+    return DataGraph(nodes)
+
+
+def random_query(
+    rng: random.Random,
+    labels: Sequence[str] = DEFAULT_ALPHABET,
+    values: Sequence[object] = DEFAULT_VALUES,
+    max_defs: int = 3,
+    max_arms: int = 3,
+    max_node_vars: int = 4,
+    allow_label_vars: bool = True,
+    allow_partial_order: bool = True,
+) -> Query:
+    """A random well-formed selection query.
+
+    Shapes covered: ordered and unordered collection patterns, nested
+    definitions, constant-value and value-variable leaves, label
+    variables, referenceable join targets, partial orders over ordered
+    arms, and random SELECT projections.  Retries internally until the
+    Section-2 validation passes (a handful of attempts at most).
+    """
+    labels = list(labels) or ["a"]
+    for _attempt in range(20):
+        try:
+            return _random_query_once(
+                rng,
+                labels,
+                list(values),
+                max_defs,
+                max_arms,
+                max_node_vars,
+                allow_label_vars,
+                allow_partial_order,
+            )
+        except ValueError:
+            continue
+    root = PatternDef(
+        "Root", PatternKind.ORDERED, arms=[PatternArm(Sym(labels[0]), "X0")]
+    )
+    return Query(["X0"], [root])
+
+
+def _random_query_once(
+    rng: random.Random,
+    labels: List[str],
+    values: List[object],
+    max_defs: int,
+    max_arms: int,
+    max_node_vars: int,
+    allow_label_vars: bool,
+    allow_partial_order: bool,
+) -> Query:
+    fresh = iter(range(100))
+    join_target: Optional[str] = "&J" if rng.random() < 0.25 else None
+    label_var_names = ["l1", "l2"]
+
+    def make_arm() -> PatternArm:
+        if join_target is not None and rng.random() < 0.4:
+            target = join_target
+        else:
+            target = f"X{next(fresh)}"
+        if allow_label_vars and rng.random() < 0.2:
+            return PatternArm(LabelVar(rng.choice(label_var_names)), target)
+        return PatternArm(random_path_regex(rng, labels), target)
+
+    def make_collection(var: str) -> PatternDef:
+        ordered = rng.random() < 0.6
+        arms = [make_arm() for _ in range(rng.randint(1, max_arms))]
+        partial = None
+        if ordered and allow_partial_order and len(arms) >= 2 and rng.random() < 0.4:
+            pairs = [
+                (i, j)
+                for i in range(len(arms))
+                for j in range(i + 1, len(arms))
+                if rng.random() < 0.5
+            ]
+            partial = pairs  # i < j only, so always acyclic
+        kind = PatternKind.ORDERED if ordered else PatternKind.UNORDERED
+        return PatternDef(var, kind, arms=arms, partial_order=partial)
+
+    patterns = [make_collection("Root")]
+    defined = {"Root"}
+    for _extra in range(rng.randint(0, max_defs - 1)):
+        undefined = [
+            target
+            for pattern in patterns
+            for target in pattern.targets()
+            if target not in defined
+        ]
+        if not undefined:
+            break
+        var = rng.choice(undefined)
+        defined.add(var)
+        roll = rng.random()
+        if roll < 0.25 and values:
+            patterns.append(
+                PatternDef(var, PatternKind.VALUE, value=rng.choice(values))
+            )
+        elif roll < 0.45:
+            patterns.append(
+                PatternDef(var, PatternKind.VALUE_VAR, value_var="v1")
+            )
+        else:
+            patterns.append(make_collection(var))
+    query = Query([], patterns, validate=True)
+    if len(query.node_vars()) > max_node_vars:
+        raise ValueError("too many node variables for the brute-force oracle")
+    names = (
+        list(query.node_vars()) + list(query.label_vars()) + list(query.value_vars())
+    )
+    select = [name for name in names if rng.random() < 0.5]
+    return Query(select, patterns, validate=True)

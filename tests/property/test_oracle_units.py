@@ -1,0 +1,210 @@
+"""Unit tests for the brute-force oracles themselves.
+
+The oracles are the trusted side of every differential check, so they get
+their own hand-checked examples: known regular languages for the
+Brzozowski machinery, tiny graphs/queries for the naive evaluator, tiny
+schemas for the exhaustive conformance search, and shrinking fixpoints.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import parse_regex_string
+from repro.automata.syntax import EMPTY, EPSILON, Sym, alt, concat, star
+from repro.data import parse_data
+from repro.oracle import (
+    bounded_counterexample,
+    bounded_equivalent,
+    bounded_language,
+    bounded_subset,
+    brz_accepts,
+    check_assignment,
+    derivative,
+    exhaustive_conforms,
+    exhaustive_type_assignment,
+    greedy_shrink,
+    naive_evaluate,
+    naive_satisfies,
+)
+from repro.oracle.shrink import regex_candidates, regex_size, word_candidates
+from repro.query import parse_query
+from repro.schema import parse_schema
+
+AB = ("a", "b")
+
+
+class TestDerivatives:
+    def test_classic_identities(self):
+        a, b = Sym("a"), Sym("b")
+        assert derivative(a, "a") is EPSILON
+        assert derivative(a, "b") is EMPTY
+        assert derivative(EPSILON, "a") is EMPTY
+        assert derivative(star(a), "a") == concat(EPSILON, star(a))
+
+    def test_membership_known_language(self):
+        # (ab)* — even-length alternating words starting with a.
+        regex = star(concat(Sym("a"), Sym("b")))
+        assert brz_accepts(regex, ())
+        assert brz_accepts(regex, ("a", "b"))
+        assert brz_accepts(regex, ("a", "b", "a", "b"))
+        assert not brz_accepts(regex, ("a",))
+        assert not brz_accepts(regex, ("b", "a"))
+        assert not brz_accepts(regex, ("a", "a"))
+
+    def test_wildcard_matches_any_symbol(self):
+        regex = parse_regex_string("_*.b")
+        assert brz_accepts(regex, ("b",))
+        assert brz_accepts(regex, ("a", "a", "b"))
+        assert not brz_accepts(regex, ("a",))
+
+    def test_bounded_language_exact(self):
+        regex = parse_regex_string("a.b | a*")
+        words = bounded_language(regex, AB, 2)
+        assert words == frozenset({(), ("a",), ("a", "a"), ("a", "b")})
+
+    def test_finite_derivative_space_on_star(self):
+        # Canonical alternation keeps iterated derivatives finite.
+        regex = star(alt(concat(Sym("a"), Sym("b")), Sym("a")))
+        seen = set()
+        frontier = {regex}
+        for _ in range(12):
+            frontier = {
+                derivative(r, s) for r in frontier for s in AB
+            } - seen
+            seen |= frontier
+        assert len(seen) < 10
+
+    def test_bounded_subset_and_equivalence(self):
+        a_star = parse_regex_string("a*")
+        a_plus = parse_regex_string("a.a*")
+        assert bounded_subset(a_plus, a_star, AB, 4) is None
+        assert bounded_subset(a_star, a_plus, AB, 4) == ()
+        assert bounded_counterexample(a_star, a_plus, AB, 4) == ()
+        assert bounded_equivalent(a_plus, parse_regex_string("a*.a"), AB, 4)
+
+
+class TestNaiveEvaluator:
+    GRAPH = parse_data(
+        "o1 = [paper -> o2, paper -> o3]; "
+        "o2 = [author -> o4]; o3 = [author -> o5]; "
+        "o4 = \"Vianu\"; o5 = \"Suciu\""
+    )
+
+    def test_projected_rows(self):
+        query = parse_query(
+            'SELECT X WHERE Root = [paper.author -> X]; X = "Vianu"'
+        )
+        assert naive_evaluate(query, self.GRAPH) == [{"X": "o4"}]
+
+    def test_value_variable_binding(self):
+        query = parse_query(
+            "SELECT $v WHERE Root = [paper.author -> X]; X = $v"
+        )
+        rows = naive_evaluate(query, self.GRAPH)
+        assert rows == [{"$v": "Suciu"}, {"$v": "Vianu"}]
+
+    def test_boolean_query(self):
+        query = parse_query("SELECT WHERE Root = [paper.author -> X]")
+        assert naive_evaluate(query, self.GRAPH) == [{}]
+        assert naive_satisfies(query, self.GRAPH)
+        miss = parse_query("SELECT WHERE Root = [book -> X]")
+        assert naive_evaluate(miss, self.GRAPH) == []
+        assert not naive_satisfies(miss, self.GRAPH)
+
+    def test_ordered_total_chain(self):
+        graph = parse_data("o1 = [b -> o2, a -> o3]; o2 = 1; o3 = 2")
+        wrong_order = parse_query("SELECT WHERE Root = [a -> X, b -> Y]")
+        right_order = parse_query("SELECT WHERE Root = [b -> Y, a -> X]")
+        assert not naive_satisfies(wrong_order, graph)
+        assert naive_satisfies(right_order, graph)
+
+    def test_unordered_overlap_allowed(self):
+        graph = parse_data("o1 = {a -> o2}; o2 = 1")
+        query = parse_query("SELECT WHERE Root = {a -> X, a -> Y}")
+        assert naive_satisfies(query, graph)
+
+    def test_cyclic_graph_terminates(self):
+        graph = parse_data("o1 = [next -> &o2]; &o2 = [next -> &o2, stop -> o3]; o3 = 1")
+        query = parse_query("SELECT X WHERE Root = [next*.stop -> X]")
+        assert naive_evaluate(query, graph) == [{"X": "o3"}]
+
+
+class TestExhaustiveConformance:
+    def test_paper_style_example(self):
+        schema = parse_schema("T = [paper -> U]; U = string")
+        good = parse_data('o1 = [paper -> o2]; o2 = "x"')
+        bad = parse_data("o1 = [paper -> o2]; o2 = 3")
+        assert exhaustive_conforms(good, schema)
+        assert not exhaustive_conforms(bad, schema)
+
+    def test_assignment_is_checkable(self):
+        schema = parse_schema("T = [a -> U . b -> U]; U = int")
+        graph = parse_data("o1 = [a -> o2, b -> o3]; o2 = 1; o3 = 2")
+        assignment = exhaustive_type_assignment(graph, schema)
+        assert assignment == {"o1": "T", "o2": "U", "o3": "U"}
+        assert check_assignment(graph, schema, assignment)
+        assert not check_assignment(
+            graph, schema, {"o1": "T", "o2": "T", "o3": "U"}
+        )
+
+    def test_unordered_permutation_semantics(self):
+        schema = parse_schema("T = {a -> U . b -> U}; U = int")
+        graph = parse_data("o1 = {b -> o2, a -> o3}; o2 = 1; o3 = 2")
+        assert exhaustive_conforms(graph, schema)
+        ordered = parse_schema("T = [a -> U . b -> U]; U = int")
+        flipped = parse_data("o1 = [b -> o2, a -> o3]; o2 = 1; o3 = 2")
+        assert not exhaustive_conforms(flipped, ordered)
+
+    def test_referenceable_constraint(self):
+        schema = parse_schema("T = [a -> U]; U = int")
+        graph = parse_data("o1 = [a -> &o2]; &o2 = 1")
+        # &o2 needs a referenceable type; U is not.
+        assert not exhaustive_conforms(graph, schema)
+        refable = parse_schema("T = [a -> &U]; &U = int")
+        assert exhaustive_conforms(graph, refable)
+
+    def test_oversized_space_refused(self):
+        schema = parse_schema(
+            "T = [a -> U]; U = int; " +
+            "; ".join(f"V{i} = int" for i in range(12))
+        )
+        graph = parse_data(
+            "o1 = [" + ", ".join(f"a -> o{i}" for i in range(2, 9)) + "]; "
+            + "; ".join(f"o{i} = 1" for i in range(2, 9))
+        )
+        with pytest.raises(ValueError, match="too large"):
+            exhaustive_type_assignment(graph, schema, max_assignments=100)
+
+
+class TestShrinking:
+    def test_word_shrinks_to_smallest_failing(self):
+        # "fails" = contains a 'b'; minimum is a single-letter word.
+        word = ("a", "b", "a", "b", "a", "a")
+        small = greedy_shrink(word, word_candidates, lambda w: "b" in w)
+        assert small == ("b",)
+
+    def test_regex_shrinks_while_preserving_predicate(self):
+        regex = parse_regex_string("(a|b).(a.b)*.b?")
+        small = greedy_shrink(
+            regex,
+            regex_candidates,
+            lambda r: brz_accepts(r, ("b",)),
+        )
+        assert brz_accepts(small, ("b",))
+        assert regex_size(small) <= 2
+
+    def test_exceptions_treated_as_not_failing(self):
+        def explosive(word):
+            if len(word) < 2:
+                raise RuntimeError("cannot judge")
+            return True
+
+        word = ("a", "a", "a", "a")
+        small = greedy_shrink(word, word_candidates, explosive)
+        assert len(small) == 2
+
+    def test_value_returned_unchanged_when_no_candidate_fails(self):
+        word = ("a",)
+        assert greedy_shrink(word, word_candidates, lambda w: True) == ()
+        assert greedy_shrink((), word_candidates, lambda w: True) == ()

@@ -87,6 +87,41 @@ class TestEvaluation:
         assert satisfies(free, graph)
         assert not satisfies(strict, graph)
 
+    def test_sharing_coexists_with_constraints_on_other_arms(self):
+        """Pins the documented semantics: strict increase holds only along
+        ``order_pairs()``; arms unrelated by any constraint may share their
+        witness first edge (regression for a docstring that claimed all
+        first edges are distinct and globally increasing)."""
+        graph = parse_data("o1 = [a -> o2, b -> o3]; o2 = 1; o3 = 2")
+        arms = [
+            PatternArm(Sym("a"), "X"),  # arm 0
+            PatternArm(Sym("a"), "Y"),  # arm 1: must share edge 0 with arm 0
+            PatternArm(Sym("b"), "Z"),  # arm 2
+        ]
+        # Only 0 < 2 is constrained: satisfiable with first edges (0, 0, 1).
+        constrained = Query(
+            [],
+            [
+                PatternDef(
+                    "Root", PatternKind.ORDERED, arms=arms, partial_order=[(0, 2)]
+                )
+            ],
+        )
+        assert satisfies(constrained, graph)
+        # Constraining 0 < 1 forces distinct a-edges, and there is only one.
+        impossible = Query(
+            [],
+            [
+                PatternDef(
+                    "Root",
+                    PatternKind.ORDERED,
+                    arms=arms,
+                    partial_order=[(0, 1), (0, 2)],
+                )
+            ],
+        )
+        assert not satisfies(impossible, graph)
+
 
 class TestSatisfiability:
     SCHEMA = parse_schema("T = [b -> U . a -> U . c -> U]; U = int")

@@ -1,0 +1,93 @@
+"""Regression tests: SELECT variables must be bound by the patterns.
+
+Previously ``Query`` accepted any SELECT list and ``evaluate`` crashed
+with a raw ``KeyError`` when projecting a variable no pattern ever binds;
+through the service that surfaced as a 500.  Now construction rejects the
+query with a :class:`~repro.query.model.QueryError` (a ``ValueError``
+subclass, so the CLI reports exit code 2 and the service a 400
+parse-error), and ``evaluate`` raises the same structured error for
+queries built with ``validate=False``.
+"""
+
+import pytest
+
+from repro.automata import Sym
+from repro.data import parse_data
+from repro.query import (
+    PatternArm,
+    PatternDef,
+    PatternKind,
+    Query,
+    QueryError,
+    evaluate,
+    parse_query,
+)
+
+GRAPH = parse_data("o1 = [a -> o2]; o2 = 1")
+
+
+def make_query(select, validate=True):
+    root = PatternDef(
+        "Root", PatternKind.ORDERED, arms=[PatternArm(Sym("a"), "X")]
+    )
+    return Query(select, [root], validate=validate)
+
+
+class TestConstruction:
+    def test_unknown_select_rejected(self):
+        with pytest.raises(QueryError, match="SELECT references.*'Y'"):
+            make_query(["Y"])
+
+    def test_unknown_dollar_var_rejected(self):
+        with pytest.raises(QueryError, match=r"\$v"):
+            make_query(["$v"])
+
+    def test_known_vars_accepted(self):
+        assert make_query(["Root", "X"]).select == ("Root", "X")
+
+    def test_referenced_but_undefined_var_is_known(self):
+        # X is only referenced (never defined); selecting it is still valid.
+        assert make_query(["X"]).select == ("X",)
+
+    def test_parser_path_rejects_unknown_select(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT Z WHERE Root = [a -> X]")
+
+    def test_is_a_value_error(self):
+        # The CLI (exit 2) and the service (HTTP 400) both key on ValueError.
+        with pytest.raises(ValueError):
+            make_query(["Y"])
+
+
+class TestEvaluateGuard:
+    def test_structured_error_not_keyerror(self):
+        query = make_query(["Y"], validate=False)
+        with pytest.raises(QueryError, match="never bound"):
+            evaluate(query, GRAPH)
+
+    def test_valid_query_still_evaluates(self):
+        assert evaluate(make_query(["X"]), GRAPH) == [{"X": "o2"}]
+
+
+class TestRouting:
+    def test_service_maps_to_parse_error(self):
+        from repro.service.envelope import as_service_error
+
+        try:
+            make_query(["Y"])
+        except QueryError as error:
+            service_error = as_service_error(error)
+        assert service_error.status == 400
+
+    def test_cli_exits_with_usage_code(self, tmp_path, capsys):
+        from repro.cli import EXIT_USAGE, main
+
+        query_file = tmp_path / "bad.query"
+        query_file.write_text("SELECT Z WHERE Root = [a -> X]")
+        data_file = tmp_path / "graph.data"
+        data_file.write_text("o1 = [a -> o2]; o2 = 1")
+        status = main(
+            ["evaluate", str(query_file), "--data", str(data_file)]
+        )
+        assert status == EXIT_USAGE
+        assert "SELECT references" in capsys.readouterr().err
