@@ -1,0 +1,227 @@
+"""Batch executors: sequential, shared-engine threads, process pool.
+
+Three ways to drive a :class:`~repro.batch.plan.BatchPlan`:
+
+* ``sequential`` — compile once, loop.  The honest baseline and the
+  fallback everywhere else.
+* ``thread`` — compile once, fan items over a small pool of daemon
+  threads that all share the one pre-warmed
+  :class:`~repro.engine.Engine` (the engine is thread-safe and
+  single-flight, so concurrent items reuse — never duplicate — compiled
+  automata).  This is what ``POST /batch`` uses, handing in the
+  registry's already-warm engine.
+* ``process`` — ship the *schema text* once per worker process via the
+  pool initializer; each worker re-parses and pre-warms its own engine,
+  then decides whole chunks and streams envelope lists back.  Items pay
+  pickling for their JSON dicts only — schemas and engines never cross
+  the process boundary.
+
+The threaded pool is hand-rolled from daemon threads rather than
+``concurrent.futures.ThreadPoolExecutor`` because the latter's workers
+are non-daemon: a batch abandoned by the service's deadline runner would
+then keep the interpreter alive at exit.  Daemon threads pulling indices
+from a locked cursor give the same fan-out with none of that teardown
+hazard.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..engine import Engine
+from ..schema import Schema
+from .plan import BatchPlan, compile_schema, item_envelope, summarize
+
+#: The executor names :func:`run_batch` accepts.
+EXECUTORS: Tuple[str, ...] = ("sequential", "thread", "process")
+
+
+def default_workers() -> int:
+    """A safe worker count for this host (bounded, never zero)."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def chunk_indexed(
+    items: Sequence[Any], workers: int, chunk_size: Optional[int] = None
+) -> List[List[Tuple[int, Any]]]:
+    """Split ``items`` into index-tagged chunks for fan-out.
+
+    Each element is ``(original_index, item)`` so results can be placed
+    back in input order no matter which worker (or process) decided
+    them.  The automatic chunk size aims for ~8 chunks per worker: large
+    enough to amortize per-chunk dispatch, small enough that one slow
+    chunk cannot strand the pool's tail.
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(items) / (workers * 8)))
+    elif chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    indexed = list(enumerate(items))
+    return [indexed[i : i + chunk_size] for i in range(0, len(indexed), chunk_size)]
+
+
+# ----------------------------------------------------------------------
+# In-process execution over a shared engine
+# ----------------------------------------------------------------------
+
+
+def run_items_shared(
+    operation: str,
+    schema: Optional[Schema],
+    engine: Engine,
+    items: Sequence[Any],
+    workers: int = 4,
+) -> List[dict]:
+    """Decide ``items`` on daemon threads sharing one pre-warmed engine.
+
+    Returns per-item envelopes in input order.  This is the path
+    ``POST /batch`` takes with the registry's engine; ``workers <= 1``
+    (or a single item) degrades to a plain loop.
+    """
+    n = len(items)
+    if n == 0:
+        return []
+    workers = min(workers, n)
+    if workers <= 1:
+        return [
+            item_envelope(index, operation, schema, engine, item)
+            for index, item in enumerate(items)
+        ]
+
+    results: List[Optional[dict]] = [None] * n
+    cursor_lock = threading.Lock()
+    cursor = [0]
+
+    def drain() -> None:
+        while True:
+            with cursor_lock:
+                index = cursor[0]
+                if index >= n:
+                    return
+                cursor[0] = index + 1
+            results[index] = item_envelope(
+                index, operation, schema, engine, items[index]
+            )
+
+    threads = [
+        threading.Thread(target=drain, daemon=True, name=f"repro-batch-{i}")
+        for i in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # item_envelope never raises, so every slot is filled once the
+    # drain threads exit.
+    return [envelope for envelope in results if envelope is not None]
+
+
+# ----------------------------------------------------------------------
+# Process-pool execution (schema shipped once per worker)
+# ----------------------------------------------------------------------
+
+#: Per-worker-process state set up by :func:`_process_init`.
+_WORKER: dict = {}
+
+
+def _process_init(
+    operation: str, schema_text: Optional[str], syntax: str, wrap: bool
+) -> None:
+    """Pool initializer: parse + pre-warm once in each worker process."""
+    schema, engine = compile_schema(schema_text, syntax, wrap)
+    _WORKER["operation"] = operation
+    _WORKER["schema"] = schema
+    _WORKER["engine"] = engine
+
+
+def _process_chunk(chunk: List[Tuple[int, Any]]) -> List[dict]:
+    """Decide one index-tagged chunk inside a worker process."""
+    return [
+        item_envelope(
+            index, _WORKER["operation"], _WORKER["schema"], _WORKER["engine"], item
+        )
+        for index, item in chunk
+    ]
+
+
+def run_items_process(
+    plan: BatchPlan,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[dict]:
+    """Decide the plan's items across a process pool, in input order.
+
+    The schema is validated by a parse in the parent first — a syntax
+    error must surface as this call's exception, not as an opaque
+    ``BrokenProcessPool`` from a dying initializer.
+    """
+    plan.parse_schema_only()
+    workers = workers or default_workers()
+    chunks = chunk_indexed(plan.items, workers, chunk_size)
+    results: List[Optional[dict]] = [None] * len(plan.items)
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)),
+        initializer=_process_init,
+        initargs=(plan.operation, plan.schema_text, plan.syntax, plan.wrap),
+    ) as pool:
+        for envelopes in pool.map(_process_chunk, chunks):
+            for envelope in envelopes:
+                results[envelope["index"]] = envelope
+    return [envelope for envelope in results if envelope is not None]
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BatchResult:
+    """Per-item envelopes (input order) plus the aggregate summary."""
+
+    results: List[dict]
+    summary: dict
+
+
+def run_batch(
+    plan: BatchPlan,
+    executor: str = "thread",
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> BatchResult:
+    """Run ``plan`` under the named executor and summarize the outcome."""
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r} (expected one of {', '.join(EXECUTORS)})"
+        )
+    started = time.perf_counter()
+    if executor == "process":
+        results = run_items_process(plan, workers=workers, chunk_size=chunk_size)
+    else:
+        schema, engine = plan.compile()
+        if executor == "sequential":
+            results = [
+                item_envelope(index, plan.operation, schema, engine, item)
+                for index, item in enumerate(plan.items)
+            ]
+        else:
+            results = run_items_shared(
+                plan.operation,
+                schema,
+                engine,
+                plan.items,
+                workers=workers or default_workers(),
+            )
+    elapsed = time.perf_counter() - started
+    return BatchResult(
+        results=results,
+        summary=summarize(plan.operation, executor, results, elapsed),
+    )

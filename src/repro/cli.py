@@ -14,6 +14,8 @@ Commands
 ``dot``  emit Graphviz DOT for a data graph or a schema graph
 ``serve``  run the typed-query daemon (see ``docs/service.md``)
 ``fuzz``  differential-test the decision procedures (see ``docs/testing.md``)
+``batch``  run one operation over many NDJSON items, compiling the
+schema once (see ``docs/service.md``)
 
 Schemas may be given as ScmDL text (``--schema``) or as a DTD
 (``--dtd``); data graphs as Table-1 text (``--data``) or XML (``--xml``).
@@ -295,6 +297,68 @@ def cmd_fuzz(args: argparse.Namespace) -> Outcome:
     return (EXIT_OK if report.ok else EXIT_NEGATIVE), result
 
 
+def cmd_batch(args: argparse.Namespace) -> Outcome:
+    from .batch import BatchPlan, read_ndjson, results_to_ndjson, run_batch
+
+    schema_text = None
+    syntax = "scmdl"
+    if args.dtd:
+        with open(args.dtd) as handle:
+            schema_text = handle.read()
+        syntax = "dtd"
+    elif args.schema:
+        with open(args.schema) as handle:
+            schema_text = handle.read()
+    elif args.operation != "evaluate":
+        raise UsageError("provide --schema FILE or --dtd FILE")
+
+    if args.input in (None, "-"):
+        text = sys.stdin.read()
+    else:
+        with open(args.input) as handle:
+            text = handle.read()
+    items = read_ndjson(text)
+    if not items:
+        raise UsageError("no items: input must carry one JSON object per line")
+
+    try:
+        plan = BatchPlan(
+            operation=args.operation,
+            items=tuple(items),
+            schema_text=schema_text,
+            syntax=syntax,
+            wrap=bool(args.wrap),
+        )
+        outcome = run_batch(
+            plan,
+            executor=args.executor,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+        )
+    except ValueError as error:
+        raise UsageError(str(error)) from None
+
+    ndjson = results_to_ndjson(outcome.results)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(ndjson)
+    result: dict = {"summary": outcome.summary}
+    if not args.json:
+        if not args.output:
+            sys.stdout.write(ndjson)
+        summary = outcome.summary
+        print(
+            f"-- {summary['items']} item(s): {summary['ok']} ok, "
+            f"{summary['errors']} error(s) in {summary['elapsed_s']}s "
+            f"({summary['items_per_s']} items/s, {summary['executor']})",
+            file=sys.stderr,
+        )
+    elif not args.output:
+        result["results"] = outcome.results
+    code = EXIT_OK if outcome.summary["errors"] == 0 else EXIT_NEGATIVE
+    return code, result
+
+
 def cmd_serve(args: argparse.Namespace) -> Outcome:
     from .service import SchemaRegistry, ServiceLimits, serve
 
@@ -432,6 +496,43 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="word-length bound for the automata/containment oracles",
+    )
+
+    batch_cmd = add_command(
+        "batch",
+        cmd_batch,
+        help="run one operation over many NDJSON items, compiling the schema once",
+    )
+    _add_schema_options(batch_cmd)
+    batch_cmd.add_argument(
+        "operation",
+        choices=("conforms", "satisfiable", "check", "infer", "classify", "evaluate"),
+        help="the decision procedure to run on every item",
+    )
+    batch_cmd.add_argument(
+        "--input",
+        default=None,
+        help="NDJSON items file, one JSON object per line (default: stdin)",
+    )
+    batch_cmd.add_argument(
+        "--output",
+        default=None,
+        help="write per-item NDJSON envelopes here instead of stdout",
+    )
+    batch_cmd.add_argument(
+        "--executor",
+        choices=("sequential", "thread", "process"),
+        default="thread",
+        help="how to fan the items out (default: thread)",
+    )
+    batch_cmd.add_argument(
+        "--workers", type=int, default=None, help="worker threads/processes"
+    )
+    batch_cmd.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="items per process-pool chunk (default: auto)",
     )
 
     serve_cmd = add_command(

@@ -183,6 +183,22 @@ class ServiceClient:
             payload["deadline"] = deadline
         return self.call("POST", "/validate", payload)
 
+    def batch(
+        self,
+        fingerprint: str,
+        operation: str,
+        items: list,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "fingerprint": fingerprint,
+            "operation": operation,
+            "items": items,
+        }
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.call("POST", "/batch", payload)
+
     def evaluate(
         self,
         query: str,

@@ -21,6 +21,9 @@ Endpoints (all bodies and responses are JSON envelopes, see
 ``POST /classify``    Table-2 complexity cell
 ``POST /validate``    Definition 2.1 conformance of a data graph
 ``POST /evaluate``    Definition 2.3 query evaluation on a data graph
+``POST /batch``       one operation over many items under one
+                      fingerprint, fanned over the schema's shared
+                      engine (see :mod:`repro.batch`)
 ``GET /healthz``      liveness (never touches the registry lock)
 ``GET /stats``        service metrics + registry + engine cache counters
 ====================  =====================================================
@@ -46,7 +49,13 @@ from ..query import evaluate, parse_query, query_to_string
 from ..schema import find_type_assignment
 from ..typing import check_total_types, check_types, classify, is_satisfiable
 from ..typing.inference import iterate_inferred_types
-from .envelope import ServiceError, as_service_error, error_envelope, ok_envelope
+from .envelope import (
+    ServiceError,
+    as_service_error,
+    error_envelope,
+    ok_envelope,
+    positive_int_field,
+)
 from .limits import DeadlineRunner, ServiceLimits
 from .metrics import ServiceMetrics
 from .registry import RegisteredSchema, SchemaRegistry
@@ -61,6 +70,7 @@ _POST_ENDPOINTS = (
     "classify",
     "validate",
     "evaluate",
+    "batch",
 )
 
 
@@ -268,9 +278,7 @@ class ServiceState:
         entry = self._entry(body)
         query = self._query(body)
         pins = self._pins(body)
-        limit = body.get("limit")
-        if limit is not None and (not isinstance(limit, int) or limit <= 0):
-            raise ServiceError("'limit' must be a positive integer", code="bad-request")
+        limit = positive_int_field(body, "limit")
 
         def run() -> list:
             assignments = []
@@ -333,9 +341,7 @@ class ServiceState:
     def do_evaluate(self, body: Dict[str, Any]) -> dict:
         query = self._query(body)
         graph = self._graph(body)
-        limit = body.get("limit")
-        if limit is not None and (not isinstance(limit, int) or limit <= 0):
-            raise ServiceError("'limit' must be a positive integer", code="bad-request")
+        limit = positive_int_field(body, "limit")
         entry = None
         if body.get("fingerprint") is not None:
             entry = self._entry(body)
@@ -355,6 +361,56 @@ class ServiceState:
         result = self._deadlined(body, run)
         result["count"] = len(result["bindings"])
         return result
+
+    def do_batch(self, body: Dict[str, Any]) -> dict:
+        # Imported lazily: repro.batch imports service submodules, so a
+        # module-level import here would close an import cycle through
+        # the package __init__.
+        from ..batch import OPERATIONS, run_items_shared, summarize
+
+        entry = self._entry(body)
+        operation = _require(body, "operation")
+        if operation not in OPERATIONS:
+            raise ServiceError(
+                f"unknown batch operation {operation!r} "
+                f"(expected one of {', '.join(OPERATIONS)})",
+                code="bad-request",
+            )
+        items = body.get("items")
+        if not isinstance(items, list) or not items:
+            raise ServiceError(
+                "'items' must be a non-empty JSON array", code="bad-request"
+            )
+        if len(items) > self.limits.max_batch_items:
+            raise ServiceError(
+                f"batch of {len(items)} items exceeds the "
+                f"{self.limits.max_batch_items}-item cap",
+                code="payload-too-large",
+                status=413,
+                detail={"items": len(items), "limit": self.limits.max_batch_items},
+            )
+        started = time.perf_counter()
+        # The whole batch runs under ONE deadline and occupies ONE
+        # computation slot; its internal fan-out threads share the
+        # registry entry's pre-warmed engine.
+        results = self._deadlined(
+            body,
+            lambda: run_items_shared(
+                operation,
+                entry.schema,
+                entry.engine,
+                items,
+                workers=self.limits.batch_workers,
+            ),
+        )
+        elapsed = time.perf_counter() - started
+        summary = summarize(operation, "thread", results, elapsed)
+        self.metrics.record_batch(len(results), summary["errors"], elapsed)
+        return {
+            "results": results,
+            "summary": summary,
+            "fingerprint": entry.fingerprint,
+        }
 
     # ------------------------------------------------------------------
     # Introspection payloads

@@ -74,6 +74,30 @@ class ServiceError(Exception):
         return error
 
 
+def positive_int_field(body: Dict[str, Any], field: str) -> Optional[int]:
+    """The optional positive-integer field ``field`` of a JSON body.
+
+    JSON booleans satisfy ``isinstance(value, int)`` in Python
+    (``True == 1``), so a naive integer check silently accepts ``true``
+    as ``1``.  Every optional numeric field in the service routes through
+    here so that hole is closed in one place.
+
+    Returns ``None`` when the field is absent or ``null``.
+
+    Raises:
+        ServiceError: 400 ``bad-request`` for booleans, non-integers, and
+            non-positive values.
+    """
+    value = body.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int) or value <= 0:
+        raise ServiceError(
+            f"{field!r} must be a positive integer", code="bad-request"
+        )
+    return value
+
+
 def ok_envelope(
     command: str,
     result: Any,

@@ -78,6 +78,11 @@ class ServiceLimits:
             timeout but still burning CPU) the server will carry.
         slot_wait_s: how long a request waits for a free slot before 503
             ``busy`` — kept short so saturation is visible, not queued.
+        max_batch_items: largest item list ``POST /batch`` accepts; the
+            whole batch occupies one computation slot, so this bounds the
+            work a single slot may hide.
+        batch_workers: threads a ``/batch`` request fans its items over
+            (all sharing the schema's pre-warmed engine).
     """
 
     max_body_bytes: int = 1 << 20
@@ -85,12 +90,23 @@ class ServiceLimits:
     max_deadline_s: float = 120.0
     max_slots: int = 32
     slot_wait_s: float = 1.0
+    max_batch_items: int = 256
+    batch_workers: int = 4
 
     def clamp_deadline(self, requested: Optional[float]) -> float:
-        """The effective deadline for a request asking for ``requested``."""
+        """The effective deadline for a request asking for ``requested``.
+
+        JSON booleans satisfy ``isinstance(value, int)`` (``True == 1``),
+        so they are rejected explicitly — ``{"deadline": true}`` must be a
+        400 ``bad-request``, not a silent 1-second deadline.
+        """
         if requested is None:
             return self.default_deadline_s
-        if not isinstance(requested, (int, float)) or requested <= 0:
+        if (
+            isinstance(requested, bool)
+            or not isinstance(requested, (int, float))
+            or requested <= 0
+        ):
             raise ServiceError(
                 "deadline must be a positive number of seconds",
                 code="bad-request",
@@ -123,6 +139,7 @@ class DeadlineRunner:
             raise ServiceBusy(self.limits.max_slots)
         box: dict = {}
         done = threading.Event()
+        abandoned = threading.Event()
 
         def work() -> None:
             try:
@@ -130,20 +147,31 @@ class DeadlineRunner:
             except BaseException as exc:  # propagated to the caller below
                 box["error"] = exc
             finally:
-                done.set()
-                self._slots.release()
+                # done and abandoned are written/read under one lock so
+                # exactly one side accounts for this thread: either the
+                # caller sees done first and takes the result, or it
+                # abandons first and this worker pays the decrement.
                 with self._lock:
+                    done.set()
                     if abandoned.is_set():
                         self._detached -= 1
+                self._slots.release()
 
-        abandoned = threading.Event()
         thread = threading.Thread(target=work, daemon=True, name="repro-compute")
         thread.start()
+        timed_out = False
         if not done.wait(timeout=deadline_s):
             with self._lock:
-                self._timeouts += 1
-                self._detached += 1
-                abandoned.set()
+                # The worker may finish between the wait timing out and
+                # this acquisition; deciding on done under the lock keeps
+                # the detached counter exact and, when the answer did
+                # arrive, returns it instead of a spurious timeout.
+                if not done.is_set():
+                    self._timeouts += 1
+                    self._detached += 1
+                    abandoned.set()
+                    timed_out = True
+        if timed_out:
             raise DeadlineExceeded(deadline_s)
         if "error" in box:
             raise box["error"]

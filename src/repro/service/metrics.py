@@ -72,6 +72,11 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._endpoints: Dict[str, _EndpointMetrics] = {}
         self._started = None  # type: Optional[float]
+        self._batches = 0
+        self._batch_items = 0
+        self._batch_item_errors = 0
+        self._batch_total_ms = 0.0
+        self._batch_max_ms = 0.0
 
     def mark_started(self, now: float) -> None:
         """Record the server start time (``time.time()``) for uptime."""
@@ -90,15 +95,44 @@ class ServiceMetrics:
                 metrics = self._endpoints[endpoint] = _EndpointMetrics()
             metrics.observe(status, elapsed_s * 1000.0)
 
+    def record_batch(self, items: int, item_errors: int, elapsed_s: float) -> None:
+        """Record one finished ``/batch`` request's per-item outcome.
+
+        ``observe`` already counts the HTTP request itself; this tracks
+        what that one request *hid*: how many items it decided and how
+        many of them failed individually — which per-endpoint request
+        counters cannot see.
+        """
+        elapsed_ms = elapsed_s * 1000.0
+        with self._lock:
+            self._batches += 1
+            self._batch_items += items
+            self._batch_item_errors += item_errors
+            self._batch_total_ms += elapsed_ms
+            self._batch_max_ms = max(self._batch_max_ms, elapsed_ms)
+
     def snapshot(self) -> dict:
-        """All per-endpoint counters plus request/error totals."""
+        """All per-endpoint counters plus request/error and batch totals."""
         with self._lock:
             endpoints = {
                 name: metrics.snapshot()
                 for name, metrics in sorted(self._endpoints.items())
             }
+            batch = {
+                "batches": self._batches,
+                "items": self._batch_items,
+                "item_errors": self._batch_item_errors,
+                "latency_ms": {
+                    "total": round(self._batch_total_ms, 3),
+                    "mean": round(self._batch_total_ms / self._batches, 3)
+                    if self._batches
+                    else 0.0,
+                    "max": round(self._batch_max_ms, 3),
+                },
+            }
         return {
             "requests": sum(e["requests"] for e in endpoints.values()),
             "errors": sum(e["errors"] for e in endpoints.values()),
+            "batch": batch,
             "endpoints": endpoints,
         }

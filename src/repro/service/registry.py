@@ -109,6 +109,7 @@ class SchemaRegistry:
         self._lock = threading.Lock()
         self._registered = 0
         self._reregistered = 0
+        self._register_races = 0
         self._evicted = 0
         self._lookups = 0
         self._lookup_misses = 0
@@ -161,9 +162,12 @@ class SchemaRegistry:
             racing = self._entries.get(fingerprint)
             if racing is not None:
                 # A concurrent register() of the same schema won; keep one
-                # entry so counters and cache hits stay coherent.
+                # entry so counters and cache hits stay coherent.  This
+                # thread's parse + pre-warm was duplicate work — count it,
+                # so the wasted compile cost is visible in /stats.
                 self._entries.move_to_end(fingerprint)
                 self._reregistered += 1
+                self._register_races += 1
                 return racing
             self._entries[fingerprint] = entry
             self._registered += 1
@@ -231,6 +235,7 @@ class SchemaRegistry:
                 "max_schemas": self.max_schemas,
                 "registered": self._registered,
                 "reregistered": self._reregistered,
+                "register_races": self._register_races,
                 "evicted": self._evicted,
                 "lookups": self._lookups,
                 "lookup_misses": self._lookup_misses,

@@ -25,6 +25,12 @@ from .schemas import (
     unordered_schema,
     wide_document_schema,
 )
+from .corpus import (
+    CORPUS_OPERATIONS,
+    batch_corpus,
+    corpus_to_ndjson,
+    write_corpus,
+)
 from .queries import (
     bounded_join_query,
     chain_query,
@@ -36,11 +42,14 @@ from .queries import (
 )
 
 __all__ = [
+    "CORPUS_OPERATIONS",
+    "batch_corpus",
     "bounded_join_query",
     "chain_query",
     "chain_schema",
     "constant_label_query",
     "constant_suffix_query",
+    "corpus_to_ndjson",
     "deep_tree_query",
     "document_schema",
     "enumerate_instances",
@@ -57,4 +66,5 @@ __all__ = [
     "union_chain_schema",
     "unordered_schema",
     "wide_document_schema",
+    "write_corpus",
 ]

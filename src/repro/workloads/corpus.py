@@ -1,0 +1,127 @@
+"""Seeded NDJSON corpora for the bulk-decision pipeline.
+
+:func:`batch_corpus` emits what ``repro batch`` consumes: one schema text
+plus many per-item JSON objects for a single operation, all derived from
+a seed so that benchmark and test runs are reproducible.  The corpus is
+deliberately *dirty* when asked (``corrupt_rate``): a slice of items get
+unparsable query text, exercising the pipeline's per-item error
+isolation at scale.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..data import data_to_string
+from ..query import query_to_string
+from ..schema import schema_to_string
+from .generators import random_query
+from .instances import random_instance
+from .schemas import document_schema
+
+#: The operations :func:`batch_corpus` can emit items for.
+CORPUS_OPERATIONS: Tuple[str, ...] = (
+    "satisfiable",
+    "infer",
+    "classify",
+    "conforms",
+    "evaluate",
+)
+
+#: Query text that fails the parser — used for corrupted items.  (The
+#: lexer treats ``_`` as the wildcard, so the marker avoids underscores.)
+_CORRUPT_QUERY = "((( zzz9"
+
+
+def batch_corpus(
+    operation: str = "satisfiable",
+    n_items: int = 1000,
+    seed: int = 0,
+    n_sections: int = 8,
+    corrupt_rate: float = 0.0,
+) -> Tuple[str, List[Dict[str, Any]]]:
+    """A ``(schema_text, items)`` pair for one bulk operation.
+
+    The schema is the paper's DOCUMENT family (``document_schema``);
+    query items are seeded :func:`random_query` draws over its labels,
+    data items are seeded conforming instances.  ``corrupt_rate`` is the
+    fraction of items (rounded down) whose query text is replaced with
+    an unparsable string; those must surface as per-item ``parse-error``
+    envelopes, never as batch failures.
+    """
+    if operation not in CORPUS_OPERATIONS:
+        raise ValueError(
+            f"unknown corpus operation {operation!r} "
+            f"(expected one of {', '.join(CORPUS_OPERATIONS)})"
+        )
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    if not 0.0 <= corrupt_rate <= 1.0:
+        raise ValueError("corrupt_rate must be in [0, 1]")
+
+    rng = random.Random(seed)
+    schema = document_schema(n_sections)
+    labels = sorted(schema.labels())
+    items: List[Dict[str, Any]] = []
+    for _ in range(n_items):
+        items.append(_make_item(operation, schema, labels, rng))
+
+    n_corrupt = int(n_items * corrupt_rate)
+    if n_corrupt:
+        for index in rng.sample(range(n_items), n_corrupt):
+            item = dict(items[index])
+            item["query"] = _CORRUPT_QUERY
+            items[index] = item
+    return schema_to_string(schema), items
+
+
+def _make_item(
+    operation: str, schema, labels: List[str], rng: random.Random
+) -> Dict[str, Any]:
+    if operation == "conforms":
+        return {"data": data_to_string(random_instance(schema, rng, max_depth=6))}
+    query = query_to_string(
+        random_query(rng, labels=labels, max_defs=2, max_arms=2)
+    )
+    if operation == "evaluate":
+        return {
+            "query": query,
+            "data": data_to_string(random_instance(schema, rng, max_depth=6)),
+            "limit": 16,
+        }
+    item: Dict[str, Any] = {"query": query}
+    if operation == "infer":
+        item["limit"] = 8
+    return item
+
+
+def corpus_to_ndjson(items: List[Dict[str, Any]]) -> str:
+    """Render corpus items as the NDJSON ``repro batch --input`` reads."""
+    return "".join(json.dumps(item) + "\n" for item in items)
+
+
+def write_corpus(
+    path: str,
+    operation: str = "satisfiable",
+    n_items: int = 1000,
+    seed: int = 0,
+    n_sections: int = 8,
+    corrupt_rate: float = 0.0,
+    schema_path: Optional[str] = None,
+) -> Tuple[str, List[Dict[str, Any]]]:
+    """Write an NDJSON corpus (and optionally its schema) to disk."""
+    schema_text, items = batch_corpus(
+        operation=operation,
+        n_items=n_items,
+        seed=seed,
+        n_sections=n_sections,
+        corrupt_rate=corrupt_rate,
+    )
+    with open(path, "w") as handle:
+        handle.write(corpus_to_ndjson(items))
+    if schema_path is not None:
+        with open(schema_path, "w") as handle:
+            handle.write(schema_text + "\n")
+    return schema_text, items

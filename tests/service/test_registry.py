@@ -89,6 +89,50 @@ class TestRegistryConcurrency:
         assert stats["registered"] == 1
         assert stats["registered"] + stats["reregistered"] == 8
 
+    def test_racing_duplicate_registration_is_counted(self, monkeypatch):
+        """Two threads compiling the same fingerprint concurrently: one
+        wins, the loser's duplicate compile shows up in register_races.
+        A barrier inside prewarm holds both threads in the compile phase
+        (outside the lock) until both have passed the fast-path check,
+        so the race is deterministic, not scheduler luck."""
+        import repro.service.registry as registry_mod
+
+        real_prewarm = registry_mod.prewarm
+        barrier = threading.Barrier(2, timeout=10)
+
+        def synced_prewarm(schema, engine):
+            barrier.wait()
+            return real_prewarm(schema, engine)
+
+        monkeypatch.setattr(registry_mod, "prewarm", synced_prewarm)
+        registry = SchemaRegistry()
+        entries = []
+
+        def worker():
+            entries.append(registry.register(SCHEMAS[0]))
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(registry) == 1
+        # The loser was handed the winner's entry, not its own duplicate.
+        assert entries[0] is entries[1]
+        stats = registry.stats()
+        assert stats["registered"] == 1
+        assert stats["register_races"] == 1
+        assert stats["reregistered"] == 1
+
+    def test_register_races_counter_starts_at_zero(self):
+        registry = SchemaRegistry()
+        registry.register(SCHEMAS[0])
+        registry.register(SCHEMAS[0])  # sequential re-register: no race
+        stats = registry.stats()
+        assert stats["register_races"] == 0
+        assert stats["reregistered"] == 1
+
     def test_register_evict_query_storm(self):
         """N threads registering/evicting/querying the same schema pool:
         residency never exceeds the bound and counters reconcile."""
