@@ -29,20 +29,32 @@ import time
 from pathlib import Path
 
 from repro.batch import BatchPlan, run_batch
+from repro.engine import BACKENDS
 from repro.workloads import batch_corpus
 
 #: The batch executor the 2x acceptance bar is asserted against.
 ACCEPTANCE_MODE = "batch-thread"
 ACCEPTANCE_SPEEDUP = 2.0
 
+#: The fraction of corpus items whose query text is corrupted; those
+#: items must come back as per-item error envelopes in *every* mode —
+#: a mode whose error count drifts from ``int(items * rate)`` is
+#: swallowing failures or failing good items, so the benchmark aborts.
+CORRUPT_RATE = 0.02
 
-def bench_per_item(operation: str, schema_text: str, items: list) -> dict:
+
+def bench_per_item(
+    operation: str, schema_text: str, items: list, backend: str
+) -> dict:
     """The baseline: one single-item plan (and one compile) per item."""
     started = time.perf_counter()
     errors = 0
     for item in items:
         plan = BatchPlan(
-            operation=operation, items=(item,), schema_text=schema_text
+            operation=operation,
+            items=(item,),
+            schema_text=schema_text,
+            backend=backend,
         )
         outcome = run_batch(plan, executor="sequential")
         errors += outcome.summary["errors"]
@@ -51,11 +63,14 @@ def bench_per_item(operation: str, schema_text: str, items: list) -> dict:
 
 
 def bench_batch(
-    operation: str, schema_text: str, items: list, executor: str
+    operation: str, schema_text: str, items: list, executor: str, backend: str
 ) -> dict:
     """One plan over the whole corpus under the named executor."""
     plan = BatchPlan(
-        operation=operation, items=tuple(items), schema_text=schema_text
+        operation=operation,
+        items=tuple(items),
+        schema_text=schema_text,
+        backend=backend,
     )
     started = time.perf_counter()
     outcome = run_batch(plan, executor=executor)
@@ -80,7 +95,16 @@ def main() -> int:
         "--operation", default="satisfiable", help="corpus operation to run"
     )
     parser.add_argument(
-        "--smoke", action="store_true", help="tiny corpus, no acceptance bar"
+        "--backend",
+        default="compiled",
+        choices=BACKENDS,
+        help="automata backend every mode runs on",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny corpus, no 2x acceptance bar (the amortization floor "
+        "batch-sequential >= per-item still applies)",
     )
     parser.add_argument(
         "--out",
@@ -94,16 +118,36 @@ def main() -> int:
         n_items=n_items,
         seed=args.seed,
         n_sections=16,
-        corrupt_rate=0.02,
+        corrupt_rate=CORRUPT_RATE,
     )
+    # batch_corpus corrupts int(n_items * rate) items, seeded — the error
+    # count is a property of (seed, n_items), not of any executor.
+    corpus_errors = int(n_items * CORRUPT_RATE)
 
     modes = {}
-    modes["per-item"] = bench_per_item(args.operation, schema_text, items)
+    modes["per-item"] = bench_per_item(
+        args.operation, schema_text, items, args.backend
+    )
     print(f"per-item        {modes['per-item']['items_per_s']:>10} items/s")
     for executor in ("sequential", "thread", "process"):
-        point = bench_batch(args.operation, schema_text, items, executor)
+        point = bench_batch(
+            args.operation, schema_text, items, executor, args.backend
+        )
         modes[f"batch-{executor}"] = point
         print(f"batch-{executor:<10}{point['items_per_s']:>10} items/s")
+
+    drifted = {
+        name: point["errors"]
+        for name, point in modes.items()
+        if point["errors"] != corpus_errors
+    }
+    if drifted:
+        print(
+            f"FAIL: error counts drifted from the corpus's {corpus_errors} "
+            f"corrupted items: {drifted}",
+            file=sys.stderr,
+        )
+        return 1
 
     baseline = modes["per-item"]["elapsed_s"]
     speedups = {
@@ -115,7 +159,9 @@ def main() -> int:
     record = {
         "benchmark": "batch",
         "operation": args.operation,
+        "backend": args.backend,
         "corpus_items": n_items,
+        "corpus_errors": corpus_errors,
         "seed": args.seed,
         "smoke": args.smoke,
         "modes": modes,
@@ -130,6 +176,16 @@ def main() -> int:
     print(f"speedups vs per-item: {speedups}")
     print(f"wrote {args.out}")
     if args.smoke:
+        # The CI gate: even at smoke scale, one compile amortized over
+        # the corpus must not lose to recompiling per item.
+        floor = speedups.get("batch-sequential", 0.0)
+        if floor < 1.0:
+            print(
+                f"FAIL: batch-sequential speedup {floor} < 1.0x per-item "
+                f"(amortization regressed below the sequential baseline)",
+                file=sys.stderr,
+            )
+            return 1
         return 0
     if not accepted:
         print(

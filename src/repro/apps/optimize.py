@@ -216,8 +216,9 @@ class _Frame:
     # Candidate typing: type id -> content-NFA state set after the
     # consumed children prefix (only completable candidates are kept).
     content: Dict[str, FrozenSet[int]]
-    # Per-arm NFA state sets for the path from the root to this node.
-    arm_states: Tuple[FrozenSet[int], ...]
+    # Per-arm path-automaton states for the path from the root to this
+    # node (backend-dependent; None marks a dead arm walk).
+    arm_states: Tuple[Optional[object], ...]
     root_index: int  # root-child index of the current path (-1 at the root)
 
 
@@ -240,7 +241,9 @@ class AdaptiveEvaluator:
         self.schema = schema
         self.engine = engine if engine is not None else get_default_engine()
         self.reach = self.engine.reach(schema)
-        self.nfas = [self.reach.compile_path(arm) for arm in pattern.arms]
+        # Arm path automata on the engine's backend (walk contract:
+        # step() returns None when the walk dies).
+        self.arm_runners = [self.reach.path(arm) for arm in pattern.arms]
         self.matches: List[Match] = []
         # Seen matches per arm: set of root-child indexes.
         self._seen: List[Set[int]] = [set() for _ in pattern.arms]
@@ -266,7 +269,7 @@ class AdaptiveEvaluator:
         root_frame = _Frame(
             oid=self.adt.graph.root,
             content={self.schema.root: self._content_nfa(self.schema.root).initial_states()},
-            arm_states=tuple(nfa.initial_states() for nfa in self.nfas),
+            arm_states=tuple(runner.initial() for runner in self.arm_runners),
             root_index=-1,
         )
         self._stack: List[_Frame] = []
@@ -299,10 +302,11 @@ class AdaptiveEvaluator:
         child_oid = self.adt.target(edge)
         child_root_index = index if frame.root_index < 0 else frame.root_index
         stepped = tuple(
-            nfa.step(s, label) for nfa, s in zip(self.nfas, frame.arm_states)
+            runner.step(s, label) if s is not None else None
+            for runner, s in zip(self.arm_runners, frame.arm_states)
         )
-        for arm, (nfa, s) in enumerate(zip(self.nfas, stepped)):
-            if s & nfa.accepting:
+        for arm, (runner, s) in enumerate(zip(self.arm_runners, stepped)):
+            if s is not None and runner.is_accepting(s):
                 self.matches.append(Match(arm, child_root_index, child_oid))
                 self._seen[arm].add(child_root_index)
         # Candidate types of the child per the parent's content automata.
@@ -438,18 +442,18 @@ class AdaptiveEvaluator:
 
     def _arm_potential(self, frame: _Frame, arm: int, below: bool) -> bool:
         """Can ``arm`` match strictly inside the region of ``frame``?"""
-        states = frame.arm_states[arm]
-        if not states:
+        state = frame.arm_states[arm]
+        if state is None:
             return False
-        nfa = self.nfas[arm]
+        runner = self.arm_runners[arm]
         regex = self.pattern.arms[arm]
         if below:
             # The node's content is unseen: any instance content of a
             # candidate type is possible; one Γ-step then free completion.
             for tid in frame.content:
                 for label, target in self.reach.edges.get(tid, ()):
-                    after = nfa.step(states, label)
-                    if not after:
+                    after = runner.step(state, label)
+                    if after is None:
                         continue
                     if self._arm_completes(regex, target, after):
                         return True
@@ -460,22 +464,22 @@ class AdaptiveEvaluator:
             content_nfa = self._content_nfa(tid)
             for symbol in self._residual_symbols(content_nfa, content_states):
                 label, target = symbol
-                after = nfa.step(states, label)
-                if not after:
+                after = runner.step(state, label)
+                if after is None:
                     continue
                 if self.schema.type(target).is_atomic:
-                    if after & nfa.accepting:
+                    if runner.is_accepting(after):
                         return True
                     continue
                 if self._arm_completes(regex, target, after):
                     return True
         return False
 
-    def _arm_completes(self, regex: Regex, tid: str, states: FrozenSet[int]) -> bool:
+    def _arm_completes(self, regex: Regex, tid: str, state: object) -> bool:
         """Can the arm reach acceptance at-or-below a ``tid`` node?"""
-        nfa = self.reach.compile_path(regex)
-        for _type, config_states in self.reach.completions(regex, tid, states):
-            if config_states & nfa.accepting:
+        runner = self.reach.path(regex)
+        for _type, config_state in self.reach.completions(regex, tid, state):
+            if runner.is_accepting(config_state):
                 return True
         return False
 
@@ -597,12 +601,17 @@ class AdaptiveEvaluator:
                 label, target = symbol
                 options = [progress]
                 if progress < arm_count:
-                    arm_nfa = self.nfas[progress]
-                    after = arm_nfa.step(arm_nfa.initial_states(), label)
-                    if after:
+                    arm_runner = self.arm_runners[progress]
+                    arm_start = arm_runner.initial()
+                    after = (
+                        arm_runner.step(arm_start, label)
+                        if arm_start is not None
+                        else None
+                    )
+                    if after is not None:
                         serves = False
                         if self.schema.type(target).is_atomic:
-                            serves = bool(after & arm_nfa.accepting)
+                            serves = arm_runner.is_accepting(after)
                         else:
                             serves = self._arm_completes(
                                 self.pattern.arms[progress], target, after

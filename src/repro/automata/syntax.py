@@ -69,6 +69,11 @@ class Regex:
     nodes built in the same process.  Use the module-level smart
     constructors rather than instantiating ``Concat``/``Alt``/``Star``
     directly when building expressions programmatically.
+
+    Nodes pickle by structure (each subclass defines ``__reduce__``
+    through its constructor), so unpickling in another process re-interns
+    into that process's hash-consing table — identity-based equality
+    keeps holding across a pickle round-trip.
     """
 
     __slots__ = ()
@@ -144,6 +149,9 @@ class Empty(Regex):
     def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> Regex:
         return self
 
+    def __reduce__(self):
+        return (Empty, ())
+
     def __eq__(self, other: object) -> bool:
         return self is other or isinstance(other, Empty)
 
@@ -177,6 +185,9 @@ class Epsilon(Regex):
     def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> Regex:
         return self
 
+    def __reduce__(self):
+        return (Epsilon, ())
+
     def __eq__(self, other: object) -> bool:
         return self is other or isinstance(other, Epsilon)
 
@@ -206,6 +217,9 @@ class Sym(Regex):
 
     def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> Regex:
         return Sym(fn(self.symbol))
+
+    def __reduce__(self):
+        return (Sym, (self.symbol,))
 
     def __eq__(self, other: object) -> bool:
         return self is other or (isinstance(other, Sym) and self.symbol == other.symbol)
@@ -244,6 +258,9 @@ class Any(Regex):
     def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> Regex:
         return self
 
+    def __reduce__(self):
+        return (Any, ())
+
     def __eq__(self, other: object) -> bool:
         return self is other or isinstance(other, Any)
 
@@ -277,6 +294,9 @@ class Concat(Regex):
 
     def children(self) -> Tuple[Regex, ...]:
         return self.parts
+
+    def __reduce__(self):
+        return (Concat, (self.parts,))
 
     def __eq__(self, other: object) -> bool:
         return self is other or (
@@ -314,6 +334,9 @@ class Alt(Regex):
     def children(self) -> Tuple[Regex, ...]:
         return self.parts
 
+    def __reduce__(self):
+        return (Alt, (self.parts,))
+
     def __eq__(self, other: object) -> bool:
         return self is other or (isinstance(other, Alt) and self.parts == other.parts)
 
@@ -346,6 +369,9 @@ class Star(Regex):
 
     def children(self) -> Tuple[Regex, ...]:
         return (self.inner,)
+
+    def __reduce__(self):
+        return (Star, (self.inner,))
 
     def __eq__(self, other: object) -> bool:
         return self is other or (isinstance(other, Star) and self.inner == other.inner)

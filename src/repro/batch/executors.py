@@ -10,11 +10,12 @@ Three ways to drive a :class:`~repro.batch.plan.BatchPlan`:
   single-flight, so concurrent items reuse — never duplicate — compiled
   automata).  This is what ``POST /batch`` uses, handing in the
   registry's already-warm engine.
-* ``process`` — ship the *schema text* once per worker process via the
-  pool initializer; each worker re-parses and pre-warms its own engine,
-  then decides whole chunks and streams envelope lists back.  Items pay
-  pickling for their JSON dicts only — schemas and engines never cross
-  the process boundary.
+* ``process`` — compile once in the parent, then ship the *compiled
+  artifact* (schema plus minimized transition tables, as one versioned
+  pickle payload; see :mod:`repro.engine.artifact`) to each worker via
+  the pool initializer.  Workers unpickle dense integer arrays instead
+  of re-parsing schema text and re-running the compile pipeline; items
+  then pay pickling for their JSON dicts only.
 
 The threaded pool is hand-rolled from daemon threads rather than
 ``concurrent.futures.ThreadPoolExecutor`` because the latter's workers
@@ -34,9 +35,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
-from ..engine import Engine
+from ..engine import Engine, EngineArtifact
 from ..schema import Schema
-from .plan import BatchPlan, compile_schema, item_envelope, summarize
+from .plan import BatchPlan, item_envelope, summarize
 
 #: The executor names :func:`run_batch` accepts.
 EXECUTORS: Tuple[str, ...] = ("sequential", "thread", "process")
@@ -125,18 +126,29 @@ def run_items_shared(
 
 
 # ----------------------------------------------------------------------
-# Process-pool execution (schema shipped once per worker)
+# Process-pool execution (compiled artifacts shipped once per worker)
 # ----------------------------------------------------------------------
 
 #: Per-worker-process state set up by :func:`_process_init`.
 _WORKER: dict = {}
 
 
-def _process_init(
-    operation: str, schema_text: Optional[str], syntax: str, wrap: bool
-) -> None:
-    """Pool initializer: parse + pre-warm once in each worker process."""
-    schema, engine = compile_schema(schema_text, syntax, wrap)
+def _process_init(operation: str, payload: Optional[bytes], backend: str) -> None:
+    """Pool initializer: install the parent's compiled artifact.
+
+    ``payload`` is an :class:`~repro.engine.EngineArtifact` as bytes
+    (None for the schema-less ``evaluate`` operation): the schema plus
+    the parent's compiled tables, so the worker unpickles dense integer
+    arrays instead of re-parsing schema text and re-running the compile
+    pipeline from scratch.
+    """
+    if payload is None:
+        schema: Optional[Schema] = None
+        engine = Engine(backend=backend)
+    else:
+        artifact = EngineArtifact.from_bytes(payload)
+        engine = artifact.install()
+        schema = artifact.schema
     _WORKER["operation"] = operation
     _WORKER["schema"] = schema
     _WORKER["engine"] = engine
@@ -159,18 +171,25 @@ def run_items_process(
 ) -> List[dict]:
     """Decide the plan's items across a process pool, in input order.
 
-    The schema is validated by a parse in the parent first — a syntax
+    The schema is parsed and compiled once in the parent — a syntax
     error must surface as this call's exception, not as an opaque
-    ``BrokenProcessPool`` from a dying initializer.
+    ``BrokenProcessPool`` from a dying initializer — and the compiled
+    artifacts ship to each worker as one explicit pickle payload.  (The
+    explicit ``to_bytes`` round-trip also holds under the ``fork`` start
+    method, where initargs would otherwise reach workers by memory
+    inheritance and never exercise pickling.)
     """
-    plan.parse_schema_only()
+    schema, engine = plan.compile()
+    payload: Optional[bytes] = None
+    if schema is not None:
+        payload = EngineArtifact.capture(engine, schema).to_bytes()
     workers = workers or default_workers()
     chunks = chunk_indexed(plan.items, workers, chunk_size)
     results: List[Optional[dict]] = [None] * len(plan.items)
     with ProcessPoolExecutor(
         max_workers=min(workers, len(chunks)),
         initializer=_process_init,
-        initargs=(plan.operation, plan.schema_text, plan.syntax, plan.wrap),
+        initargs=(plan.operation, payload, engine.backend),
     ) as pool:
         for envelopes in pool.map(_process_chunk, chunks):
             for envelope in envelopes:

@@ -276,9 +276,11 @@ def cmd_fuzz(args: argparse.Namespace) -> Outcome:
         budget=args.budget,
         sections=sections,
         max_len=args.max_len,
+        backend=args.backend,
     )
     result = report.to_dict()
     if not args.json:
+        print(f"backend: {report.backend}")
         for name in report.sections:
             skipped = report.skipped.get(name, 0)
             note = f" ({skipped} skipped)" if skipped else ""
@@ -328,6 +330,7 @@ def cmd_batch(args: argparse.Namespace) -> Outcome:
             schema_text=schema_text,
             syntax=syntax,
             wrap=bool(args.wrap),
+            backend=args.backend,
         )
         outcome = run_batch(
             plan,
@@ -489,13 +492,21 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument(
         "--sections",
         default=None,
-        help="comma-separated subset: automata,containment,eval,conformance",
+        help="comma-separated subset: automata,containment,eval,"
+        "conformance,compiled,backend",
     )
     fuzz_cmd.add_argument(
         "--max-len",
         type=int,
         default=None,
-        help="word-length bound for the automata/containment oracles",
+        help="word-length bound for the automata/containment/compiled oracles",
+    )
+    fuzz_cmd.add_argument(
+        "--backend",
+        choices=("nfa", "compiled"),
+        default=None,
+        help="automata backend the production procedures run on "
+        "(default: REPRO_BACKEND env var, then 'compiled')",
     )
 
     batch_cmd = add_command(
@@ -533,6 +544,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="items per process-pool chunk (default: auto)",
+    )
+    batch_cmd.add_argument(
+        "--backend",
+        choices=("nfa", "compiled"),
+        default=None,
+        help="automata backend for the batch engines "
+        "(default: REPRO_BACKEND env var, then 'compiled')",
     )
 
     serve_cmd = add_command(

@@ -9,14 +9,28 @@ the constructions behind those keys in a bounded, instrumented
 :func:`get_default_engine`.
 """
 
+from .artifact import ARTIFACT_VERSION, EngineArtifact, prewarm_schema
 from .cache import CacheStats, EngineCache, KindStats
-from .core import Engine, get_default_engine, set_default_engine
+from .core import (
+    BACKENDS,
+    BACKEND_ENV_VAR,
+    Engine,
+    get_default_engine,
+    resolve_backend,
+    set_default_engine,
+)
 
 __all__ = [
+    "ARTIFACT_VERSION",
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
     "CacheStats",
     "Engine",
+    "EngineArtifact",
     "EngineCache",
     "KindStats",
     "get_default_engine",
+    "prewarm_schema",
+    "resolve_backend",
     "set_default_engine",
 ]

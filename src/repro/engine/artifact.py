@@ -1,0 +1,136 @@
+"""Shippable compiled artifacts: the engine cache as a pickle payload.
+
+The batch process executor used to ship *schema text* to its workers,
+each of which re-parsed and re-compiled every automaton from scratch.
+With the compile pipeline (NFA → subset → Hopcroft → tables) the
+expensive part of that work is process-independent data: dense integer
+transition tables, interned alphabets, schema-graph edge sets.  An
+:class:`EngineArtifact` captures exactly those cache entries from a
+parent engine and installs them into a fresh worker engine, so workers
+start with hot caches instead of cold compilers.
+
+Only *shippable* kinds are captured (:data:`SHIPPABLE_KINDS`): values
+that are pure data, identical in any process, and cheap to pickle.
+Runner wrappers, reachability objects, and raw NFAs stay behind — they
+are either rebuilt trivially or hold process-local references.
+
+The byte format is versioned (:data:`ARTIFACT_VERSION`); a worker
+refuses a payload from a different version rather than guessing at its
+layout.  Schema fingerprints are recomputed on unpickle (they are a pure
+function of the definitions), which is what makes the shipped cache keys
+match the keys a worker computes locally.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, Hashable, Optional
+
+from .core import Engine, resolve_backend
+
+#: Bump when the captured payload layout (or the pickle format of any
+#: shipped value type) changes incompatibly.
+ARTIFACT_VERSION = 1
+
+#: Cache kinds whose values are process-independent pure data.
+SHIPPABLE_KINDS = frozenset(
+    {
+        "schema-alphabet",
+        "inhabited",
+        "possible-edges",
+        "compiled-path",
+        "compiled-content",
+        "compiled-content-restricted",
+        "compiled-trace",
+    }
+)
+
+
+def _shippable(key: Hashable) -> bool:
+    return (
+        isinstance(key, tuple)
+        and bool(key)
+        and isinstance(key[0], str)
+        and key[0] in SHIPPABLE_KINDS
+    )
+
+
+class EngineArtifact:
+    """A schema plus the compiled cache entries derived from it.
+
+    Build with :meth:`capture` in the parent process, move as bytes via
+    :meth:`to_bytes` / :meth:`from_bytes`, and :meth:`install` into the
+    worker's engine.
+    """
+
+    __slots__ = ("backend", "schema", "entries")
+
+    def __init__(self, backend: str, schema, entries: Dict[Hashable, object]):
+        self.backend = resolve_backend(backend)
+        self.schema = schema
+        self.entries = entries
+
+    @classmethod
+    def capture(cls, engine: Engine, schema) -> "EngineArtifact":
+        """Snapshot the shippable entries currently in ``engine``'s cache."""
+        return cls(engine.backend, schema, engine.cache.snapshot(_shippable))
+
+    def install(self, engine: Optional[Engine] = None) -> Engine:
+        """Seed the artifact into ``engine`` (a fresh one by default)."""
+        if engine is None:
+            engine = Engine(backend=self.backend)
+        engine.cache.seed(self.entries)
+        return engine
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(
+            {
+                "version": ARTIFACT_VERSION,
+                "backend": self.backend,
+                "schema": self.schema,
+                "entries": self.entries,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EngineArtifact":
+        payload = pickle.loads(data)
+        version = payload.get("version")
+        if version != ARTIFACT_VERSION:
+            raise ValueError(
+                f"engine artifact version mismatch: payload says {version!r}, "
+                f"this process speaks {ARTIFACT_VERSION}"
+            )
+        return cls(payload["backend"], payload["schema"], payload["entries"])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineArtifact(backend={self.backend!r}, "
+            f"schema={self.schema.root!r}, entries={len(self.entries)})"
+        )
+
+
+def prewarm_schema(engine: Engine, schema) -> None:
+    """Compile everything schema-derived that workers will need.
+
+    Forces the schema graph, the inhabited set, and — on the compiled
+    backend — the content tables of every collection type, so a
+    subsequent :meth:`EngineArtifact.capture` has the full per-schema
+    working set to ship.
+    """
+    engine.symbol_alphabet(schema)
+    engine.inhabited_types(schema)
+    engine.possible_edges(schema)
+    for type_def in schema:
+        if type_def.is_atomic:
+            continue
+        if engine.backend == "compiled":
+            engine.compiled_content(schema, type_def.tid)
+            engine.compiled_restricted_content(schema, type_def.tid)
+        else:
+            engine.content_nfa(schema, type_def.tid)
+            engine.restricted_content_nfa(schema, type_def.tid)

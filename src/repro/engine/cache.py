@@ -133,6 +133,36 @@ class EngineCache:
                     self._evictions += 1
             return value
 
+    def snapshot(self, predicate: Callable[[Hashable], bool]) -> Dict[Hashable, object]:
+        """A shallow copy of the entries whose key satisfies ``predicate``.
+
+        Used by :mod:`repro.engine.artifact` to capture shippable compiled
+        artifacts; values are shared, not copied — callers must treat them
+        as immutable (as all engine artifacts are).
+        """
+        with self._lock:
+            return {key: value for key, value in self._data.items() if predicate(key)}
+
+    def seed(self, entries: Dict[Hashable, object]) -> int:
+        """Install precomputed entries; returns how many were new.
+
+        Counters are untouched — seeded entries are not misses (nothing was
+        computed here) and not hits (nothing asked yet).  Existing keys win
+        over seeded ones, so a live cache is never clobbered.
+        """
+        with self._lock:
+            added = 0
+            for key, value in entries.items():
+                if key in self._data:
+                    continue
+                self._data[key] = value
+                added += 1
+            if self.max_entries is not None:
+                while len(self._data) > self.max_entries:
+                    self._data.popitem(last=False)
+                    self._evictions += 1
+            return added
+
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
             return key in self._data

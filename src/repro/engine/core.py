@@ -22,11 +22,35 @@ scope without cycles.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Tuple
+import os
+from typing import FrozenSet, Iterable, Optional, Tuple, Union
 
+from ..automata.compiled import CompiledDFA, NFARunner, compile_nfa
 from ..automata.nfa import NFA, thompson as _thompson
 from ..automata.syntax import Regex, Symbol
 from .cache import CacheStats, EngineCache
+
+#: The automata backends an engine can run its decision walks on.
+BACKENDS: Tuple[str, ...] = ("nfa", "compiled")
+
+#: Environment override for the default backend (worker processes and
+#: benchmarks set it so child engines inherit the parent's choice).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Either side of the runner contract (see repro.automata.compiled):
+#: step() returns None when the walk dies, never a falsy state.
+Runner = Union[CompiledDFA, NFARunner]
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate an explicit backend or fall back to env / the default."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "compiled"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} (expected one of {', '.join(BACKENDS)})"
+        )
+    return backend
 
 
 class Engine:
@@ -39,8 +63,19 @@ class Engine:
     before mutating.
     """
 
-    def __init__(self, cache: Optional[EngineCache] = None, max_entries: Optional[int] = 4096):
+    def __init__(
+        self,
+        cache: Optional[EngineCache] = None,
+        max_entries: Optional[int] = 4096,
+        backend: Optional[str] = None,
+    ):
         self.cache = cache if cache is not None else EngineCache(max_entries)
+        #: Which automata implementation the decision procedures walk:
+        #: ``"compiled"`` (minimized table-driven DFAs, the default) or
+        #: ``"nfa"`` (the legacy subset simulation, kept for differential
+        #: testing).  Resolution order: explicit argument, then the
+        #: ``REPRO_BACKEND`` environment variable, then ``"compiled"``.
+        self.backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------
     # Generic regex compilation
@@ -122,6 +157,11 @@ class Engine:
 
         return self.cache.get_or_compute(key, build)
 
+    def reachable_types(self, schema) -> FrozenSet[str]:
+        """Types reachable from the schema root through Γ(S), computed once."""
+        key = ("reachable", schema.fingerprint())
+        return self.cache.get_or_compute(key, lambda: schema.reachable_types(self))
+
     def reach(self, schema):
         """A :class:`repro.typing.reach.SchemaReach` shared per schema.
 
@@ -137,6 +177,80 @@ class Engine:
             return SchemaReach(schema, engine=self)
 
         return self.cache.get_or_compute(key, build)
+
+    # ------------------------------------------------------------------
+    # The compile pipeline (NFA → subset → Hopcroft → tables)
+    # ------------------------------------------------------------------
+
+    def compiled_path(self, regex: Regex, alphabet: Iterable[Symbol]) -> CompiledDFA:
+        """A path regex lowered to a minimized transition table."""
+        alphabet = frozenset(alphabet)
+        key = ("compiled-path", regex, alphabet)
+        return self.cache.get_or_compute(
+            key, lambda: compile_nfa(self.thompson(regex, alphabet))
+        )
+
+    def compiled_content(self, schema, tid: str) -> CompiledDFA:
+        """The (unrestricted) content model of ``tid`` as a compiled DFA.
+
+        This is the automaton conformance membership and witness runs
+        execute on.
+        """
+        key = ("compiled-content", schema.fingerprint(), tid)
+        return self.cache.get_or_compute(
+            key, lambda: compile_nfa(self.content_nfa(schema, tid))
+        )
+
+    def compiled_restricted_content(self, schema, tid: str) -> CompiledDFA:
+        """The inhabited-restricted content model of ``tid``, compiled.
+
+        The satisfiability word search runs on this table; the pipeline's
+        dead-state pruning means every offered symbol can still complete
+        a content word.
+        """
+        key = ("compiled-content-restricted", schema.fingerprint(), tid)
+        return self.cache.get_or_compute(
+            key, lambda: compile_nfa(self.restricted_content_nfa(schema, tid))
+        )
+
+    def compiled_trace(self, schema, root_tid: str, arm_count: int) -> CompiledDFA:
+        """``Tr(S)`` rooted at ``root_tid``, compiled (Section 3.4)."""
+        key = ("compiled-trace", schema.fingerprint(), root_tid, arm_count)
+
+        def build() -> CompiledDFA:
+            from ..typing.traces import schema_trace_nfa
+
+            return compile_nfa(schema_trace_nfa(schema, root_tid, arm_count, engine=self))
+
+        return self.cache.get_or_compute(key, build)
+
+    # ------------------------------------------------------------------
+    # Backend-resolved runners (None-is-dead walk contract)
+    # ------------------------------------------------------------------
+
+    def path_runner(self, regex: Regex, alphabet: Iterable[Symbol]) -> Runner:
+        """A walkable automaton for a path regex on this engine's backend."""
+        alphabet = frozenset(alphabet)
+        if self.backend == "compiled":
+            return self.compiled_path(regex, alphabet)
+        key = ("path-runner", regex, alphabet)
+        return self.cache.get_or_compute(
+            key, lambda: NFARunner(self.thompson(regex, alphabet))
+        )
+
+    def content_runner(self, schema, tid: str, restricted: bool = True) -> Runner:
+        """A walkable content automaton for ``tid`` on this backend."""
+        if self.backend == "compiled":
+            if restricted:
+                return self.compiled_restricted_content(schema, tid)
+            return self.compiled_content(schema, tid)
+        key = ("content-runner", schema.fingerprint(), tid, restricted)
+        build_nfa = (
+            self.restricted_content_nfa if restricted else self.content_nfa
+        )
+        return self.cache.get_or_compute(
+            key, lambda: NFARunner(build_nfa(schema, tid))
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -61,39 +61,47 @@ def tokenize(text: str) -> List[Token]:
         LexError: on an unrecognized character, with line/column info.
     """
     tokens: List[Token] = []
+    append = tokens.append
     position = 0
     line = 1
     line_start = 0
-    while position < len(text):
-        match = _TOKEN_RE.match(text, position)
-        if match is None:
-            column = position - line_start + 1
+    # One finditer sweep; a gap between consecutive matches is exactly an
+    # unlexable character (every token pattern is anchored by the gap check).
+    for match in _TOKEN_RE.finditer(text):
+        if match.start() != position:
             raise LexError(
-                f"unexpected character {text[position]!r} at line {line}, column {column}"
+                f"unexpected character {text[position]!r} at line {line}, "
+                f"column {position - line_start + 1}"
             )
-        column = position - line_start + 1
-        if match.lastgroup == "ws":
-            line += match.group().count("\n")
-            if "\n" in match.group():
-                line_start = match.start() + match.group().rfind("\n") + 1
-        elif match.lastgroup == "arrow":
-            tokens.append(Token("ARROW", "->", position, line, column))
-        elif match.lastgroup == "number":
+        group = match.lastgroup
+        if group == "ident":
+            append(Token("IDENT", match.group(), position, line, position - line_start + 1))
+        elif group == "op":
+            append(Token("OP", match.group(), position, line, position - line_start + 1))
+        elif group == "ws":
+            raw = match.group()
+            if "\n" in raw:
+                line += raw.count("\n")
+                line_start = match.start() + raw.rfind("\n") + 1
+        elif group == "arrow":
+            append(Token("ARROW", "->", position, line, position - line_start + 1))
+        elif group == "number":
             raw = match.group()
             value: Union[int, float] = float(raw) if "." in raw else int(raw)
-            tokens.append(Token("NUMBER", value, position, line, column))
-        elif match.lastgroup == "ident":
-            tokens.append(Token("IDENT", match.group(), position, line, column))
-        elif match.lastgroup == "string":
+            append(Token("NUMBER", value, position, line, position - line_start + 1))
+        else:  # string
             raw = match.group()[1:-1]
             value = re.sub(
                 r"\\(.)", lambda m: _ESCAPES.get(m.group(1), m.group(1)), raw
             )
-            tokens.append(Token("STRING", value, position, line, column))
-        else:
-            tokens.append(Token("OP", match.group(), position, line, column))
+            append(Token("STRING", value, position, line, position - line_start + 1))
         position = match.end()
-    tokens.append(Token("EOF", "", position, line, position - line_start + 1))
+    if position != len(text):
+        raise LexError(
+            f"unexpected character {text[position]!r} at line {line}, "
+            f"column {position - line_start + 1}"
+        )
+    append(Token("EOF", "", position, line, position - line_start + 1))
     return tokens
 
 

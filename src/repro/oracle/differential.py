@@ -21,19 +21,23 @@ therefore always re-draws the same inputs.
 
 from __future__ import annotations
 
+import pickle
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..automata.compiled import CompiledDFA, compile_nfa
 from ..automata.dfa import DFA, determinize
 from ..automata.nfa import NFA, thompson
 from ..automata.ops import equivalent, intersect, is_subset, to_regex
 from ..automata.syntax import Regex
 from ..data.model import DataGraph
+from ..engine import Engine, resolve_backend, set_default_engine
 from ..query.eval import evaluate
 from ..query.model import Query
 from ..schema.conformance import conforms
 from ..schema.model import Schema
+from ..typing.satisfiability import is_satisfiable
 from ..workloads.generators import (
     DEFAULT_ALPHABET,
     random_graph,
@@ -59,6 +63,8 @@ _SALTS: Dict[str, int] = {
     "containment": 211,
     "eval": 307,
     "conformance": 401,
+    "compiled": 503,
+    "backend": 601,
 }
 
 
@@ -95,6 +101,7 @@ class FuzzReport:
     seed: int
     budget: int
     sections: Tuple[str, ...]
+    backend: str = "compiled"
     cases: Dict[str, int] = field(default_factory=dict)
     skipped: Dict[str, int] = field(default_factory=dict)
     discrepancies: List[Discrepancy] = field(default_factory=list)
@@ -107,6 +114,7 @@ class FuzzReport:
         return {
             "seed": self.seed,
             "budget": self.budget,
+            "backend": self.backend,
             "sections": list(self.sections),
             "cases": dict(self.cases),
             "skipped": dict(self.skipped),
@@ -469,6 +477,210 @@ def run_conformance_section(
 
 
 # ----------------------------------------------------------------------
+# Section 5: the compile pipeline vs Brzozowski and the NFA decision ops
+# ----------------------------------------------------------------------
+
+
+def run_compiled_section(
+    seed: int,
+    cases: int,
+    max_len: int = 4,
+    *,
+    compile_fn: Callable[[NFA], CompiledDFA] = compile_nfa,
+) -> Tuple[List[Discrepancy], int, int]:
+    """Cross-check the table pipeline (subset → Hopcroft → tables).
+
+    Per case two random regexes are lowered to compiled tables and
+    checked against the oracles: ``member`` (including after a pickle
+    round-trip) against Brzozowski derivatives for every word up to
+    ``max_len``; ``is_subset`` and ``product_empty`` against the
+    product-construction answers of :mod:`repro.automata.ops`.
+    """
+    alphabet = DEFAULT_ALPHABET
+    found: List[Discrepancy] = []
+
+    def check_pair(left: Regex, right: Regex) -> Optional[Tuple[str, str, Dict[str, str]]]:
+        left_nfa = thompson(left, alphabet)
+        right_nfa = thompson(right, alphabet)
+        left_dfa = compile_fn(left_nfa)
+        right_dfa = compile_fn(right_nfa)
+        thawed: CompiledDFA = pickle.loads(pickle.dumps(left_dfa))
+        for word in all_words(alphabet, max_len):
+            expected = brz_accepts(left, word)
+            if bool(left_dfa.member(word)) != expected:
+                return (
+                    "member",
+                    f"compiled member disagrees with Brzozowski on {word!r}: "
+                    f"oracle says {'accept' if expected else 'reject'}",
+                    {"word": repr(word)},
+                )
+            if bool(thawed.member(word)) != expected:
+                return (
+                    "pickle-member",
+                    f"pickle round-trip changed membership of {word!r}",
+                    {"word": repr(word)},
+                )
+        if bool(left_dfa.is_subset(right_dfa)) != bool(is_subset(left_nfa, right_nfa)):
+            return (
+                "is_subset",
+                "compiled is_subset disagrees with the NFA product check",
+                {},
+            )
+        compiled_empty = bool(left_dfa.product_empty(right_dfa))
+        nfa_empty = intersect(left_nfa, right_nfa).is_empty()
+        if compiled_empty != nfa_empty:
+            return (
+                "product_empty",
+                f"compiled product_empty says {compiled_empty}, NFA "
+                f"intersection emptiness says {nfa_empty}",
+                {},
+            )
+        return None
+
+    for case in range(cases):
+        rng = _case_rng(seed, "compiled", case)
+        left = random_regex(rng, alphabet, max_depth=3, allow_wildcard=True)
+        right = random_regex(rng, alphabet, max_depth=3, allow_wildcard=True)
+        result = check_pair(left, right)
+        if result is None:
+            continue
+        check, _detail, _extra = result
+
+        def left_fails(candidate, _right=right, _check=check):
+            r = check_pair(candidate, _right)
+            return r is not None and r[0] == _check
+
+        small_left = greedy_shrink(left, regex_candidates, left_fails)
+
+        def right_fails(candidate, _left=small_left, _check=check):
+            r = check_pair(_left, candidate)
+            return r is not None and r[0] == _check
+
+        small_right = greedy_shrink(right, regex_candidates, right_fails)
+        final = check_pair(small_left, small_right)
+        check, detail, extra = final if final is not None else result
+        inputs = {"left": repr(small_left), "right": repr(small_right)}
+        inputs.update(extra)
+        found.append(
+            Discrepancy(
+                section="compiled",
+                case=case,
+                seed=seed,
+                check=check,
+                detail=detail,
+                inputs=inputs,
+            )
+        )
+    return found, cases, 0
+
+
+# ----------------------------------------------------------------------
+# Section 6: backend agreement on whole decision procedures
+# ----------------------------------------------------------------------
+
+
+def run_backend_section(
+    seed: int,
+    cases: int,
+    *,
+    satisfiable_fn: Callable[..., bool] = is_satisfiable,
+    conforms_fn: Callable[..., bool] = conforms,
+) -> Tuple[List[Discrepancy], int, int]:
+    """The legacy-NFA and compiled engines must decide identically.
+
+    Each case draws a random schema plus a random query (satisfiability)
+    and a data graph (conformance; half sampled from the schema itself)
+    and runs both procedures once per backend on fresh engines.  Any
+    split verdict is a bug in the compile pipeline or in the legacy walk
+    — by construction there is no third oracle here, only agreement.
+    """
+    found: List[Discrepancy] = []
+    skipped = 0
+
+    def split_verdict(schema: Schema, query: Query) -> Optional[str]:
+        on_nfa = bool(satisfiable_fn(query, schema, None, Engine(backend="nfa")))
+        on_compiled = bool(
+            satisfiable_fn(query, schema, None, Engine(backend="compiled"))
+        )
+        if on_nfa == on_compiled:
+            return None
+        return (
+            f"is_satisfiable: nfa backend says {on_nfa}, compiled backend "
+            f"says {on_compiled}"
+        )
+
+    for case in range(cases):
+        rng = _case_rng(seed, "backend", case)
+        schema = random_schema(rng, n_types=rng.randint(2, 4))
+        query = random_query(rng, max_node_vars=3)
+        try:
+            detail = split_verdict(schema, query)
+        except ValueError:
+            skipped += 1
+            detail = None
+        if detail is not None:
+            small_query = greedy_shrink(
+                query,
+                query_candidates,
+                lambda q: _safe_split(split_verdict, schema, q),
+            )
+            final_detail = None
+            try:
+                final_detail = split_verdict(schema, small_query)
+            except ValueError:
+                pass
+            found.append(
+                Discrepancy(
+                    section="backend",
+                    case=case,
+                    seed=seed,
+                    check="is_satisfiable",
+                    detail=final_detail or detail,
+                    inputs={
+                        "schema": "; ".join(
+                            repr(schema.type(t)) for t in schema.tids()
+                        ),
+                        "query": _query_repr(small_query),
+                    },
+                )
+            )
+
+        if rng.random() < 0.5:
+            graph = random_instance(schema, rng, max_depth=6, max_repeat=2)
+        else:
+            graph = random_graph(rng, max_nodes=4)
+        on_nfa = bool(conforms_fn(graph, schema, Engine(backend="nfa")))
+        on_compiled = bool(conforms_fn(graph, schema, Engine(backend="compiled")))
+        if on_nfa != on_compiled:
+            found.append(
+                Discrepancy(
+                    section="backend",
+                    case=case,
+                    seed=seed,
+                    check="conforms",
+                    detail=(
+                        f"conforms: nfa backend says {on_nfa}, compiled "
+                        f"backend says {on_compiled}"
+                    ),
+                    inputs={
+                        "schema": "; ".join(
+                            repr(schema.type(t)) for t in schema.tids()
+                        ),
+                        "graph": _graph_repr(graph),
+                    },
+                )
+            )
+    return found, cases, skipped
+
+
+def _safe_split(split_verdict, schema: Schema, query: Query) -> bool:
+    try:
+        return split_verdict(schema, query) is not None
+    except ValueError:
+        return False
+
+
+# ----------------------------------------------------------------------
 # The fuzzing entry point
 # ----------------------------------------------------------------------
 
@@ -478,7 +690,12 @@ SECTIONS: Dict[str, Callable[[int, int], Tuple[List[Discrepancy], int, int]]] = 
     "containment": run_containment_section,
     "eval": run_eval_section,
     "conformance": run_conformance_section,
+    "compiled": run_compiled_section,
+    "backend": run_backend_section,
 }
+
+#: Sections whose word-enumeration bound ``--max-len`` overrides.
+_BOUNDED_SECTIONS = ("automata", "containment", "compiled")
 
 
 def run_fuzz(
@@ -486,15 +703,22 @@ def run_fuzz(
     budget: int = 200,
     sections: Optional[Sequence[str]] = None,
     max_len: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FuzzReport:
     """Run the differential sections; return an aggregated report.
 
     Args:
         seed: base seed; every case derives its own rng from it.
         budget: total number of cases, split evenly across sections.
-        sections: subset of :data:`SECTIONS` keys (default: all four).
-        max_len: override the word-length bound of the two automata
+        sections: subset of :data:`SECTIONS` keys (default: all).
+        max_len: override the word-length bound of the bounded-oracle
             sections (their defaults otherwise).
+        backend: automata backend the *production* procedures run on for
+            this call (``"nfa"`` or ``"compiled"``; None = env/default).
+            Implemented by swapping the process default engine for the
+            duration of the run, so every default-engine call site is
+            covered.  The ``backend`` section always compares both
+            backends regardless of this setting.
     """
     chosen = tuple(sections) if sections is not None else tuple(SECTIONS)
     unknown = [name for name in chosen if name not in SECTIONS]
@@ -505,16 +729,21 @@ def run_fuzz(
         )
     if budget < 1:
         raise ValueError(f"budget must be positive, got {budget}")
-    report = FuzzReport(seed=seed, budget=budget, sections=chosen)
+    backend = resolve_backend(backend)
+    report = FuzzReport(seed=seed, budget=budget, sections=chosen, backend=backend)
     per_section = max(1, budget // len(chosen))
-    for name in chosen:
-        runner = SECTIONS[name]
-        if max_len is not None and name in ("automata", "containment"):
-            result = runner(seed, per_section, max_len)  # type: ignore[call-arg]
-        else:
-            result = runner(seed, per_section)
-        discrepancies, cases, skipped = result
-        report.discrepancies.extend(discrepancies)
-        report.cases[name] = cases
-        report.skipped[name] = skipped
+    previous = set_default_engine(Engine(backend=backend))
+    try:
+        for name in chosen:
+            runner = SECTIONS[name]
+            if max_len is not None and name in _BOUNDED_SECTIONS:
+                result = runner(seed, per_section, max_len)  # type: ignore[call-arg]
+            else:
+                result = runner(seed, per_section)
+            discrepancies, cases, skipped = result
+            report.discrepancies.extend(discrepancies)
+            report.cases[name] = cases
+            report.skipped[name] = skipped
+    finally:
+        set_default_engine(previous)
     return report

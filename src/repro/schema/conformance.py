@@ -27,6 +27,7 @@ import itertools
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..automata.bag import bag_run_groups
+from ..automata.compiled import run_with_choices_compiled
 from ..automata.nfa import NFA
 from ..automata.ops import run_with_choices
 from ..data.model import DataGraph, Node
@@ -35,6 +36,32 @@ from .model import Schema, TypeDef, atomic_matches
 
 #: A candidate map: oid -> set of admissible type ids.
 Domains = Dict[str, FrozenSet[str]]
+
+
+def _ordered_witness(
+    engine: Engine, schema: Schema, tid: str, choice_sets: Sequence[FrozenSet]
+) -> Optional[List]:
+    """A witness word of ``tid``'s content model over per-edge choices.
+
+    On the compiled backend the walk runs on the minimized table
+    (deterministic witness order); the NFA route is kept for
+    differential testing.  Unordered (bag) support stays on the NFA —
+    the bag DP needs state-set introspection the table does not expose.
+    """
+    if engine.backend == "compiled":
+        return run_with_choices_compiled(
+            engine.compiled_content(schema, tid), choice_sets
+        )
+    return run_with_choices(engine.content_nfa(schema, tid), choice_sets)
+
+
+def _ordered_member(
+    engine: Engine, schema: Schema, tid: str, typed_edges: Sequence
+) -> bool:
+    """Ordered content-model membership on the engine's backend."""
+    if engine.backend == "compiled":
+        return engine.compiled_content(schema, tid).member(typed_edges)
+    return engine.content_nfa(schema, tid).accepts(typed_edges)
 
 
 def candidate_types(
@@ -50,9 +77,6 @@ def candidate_types(
     """
     if engine is None:
         engine = get_default_engine()
-
-    def automaton(tid: str) -> NFA:
-        return engine.content_nfa(schema, tid)
 
     domains: Dict[str, Set[str]] = {}
     for node in graph:
@@ -74,7 +98,7 @@ def candidate_types(
             survivors = {
                 tid
                 for tid in domains[node.oid]
-                if _has_support(node, automaton(tid), domains)
+                if _has_support(node, tid, domains, schema, engine)
             }
             if survivors != domains[node.oid]:
                 domains[node.oid] = survivors
@@ -122,15 +146,18 @@ def _group_edges(
     return list(groups.items())
 
 
-def _has_support(node: Node, nfa: NFA, domains: Dict[str, Set[str]]) -> bool:
+def _has_support(
+    node: Node, tid: str, domains: Dict[str, Set[str]], schema: Schema, engine: Engine
+) -> bool:
     if node.is_ordered:
         choice_sets = _choice_sets(node, domains)
         if choice_sets is None:
             return False
-        return run_with_choices(nfa, choice_sets) is not None
+        return _ordered_witness(engine, schema, tid, choice_sets) is not None
     grouped = _group_edges(node, domains)
     if grouped is None:
         return False
+    nfa = engine.content_nfa(schema, tid)
     return bag_run_groups(nfa, [(choices, len(idx)) for choices, idx in grouped]) is not None
 
 
@@ -185,9 +212,6 @@ def _try_extend(
     if engine is None:
         engine = get_default_engine()
 
-    def automaton(tid: str) -> NFA:
-        return engine.content_nfa(schema, tid)
-
     assignment: Dict[str, str] = dict(fixed)
     pending = list(fixed)
     processed: Set[str] = set()
@@ -200,7 +224,6 @@ def _try_extend(
         tid = assignment[oid]
         if node.is_atomic:
             continue
-        nfa = automaton(tid)
         edge_domains = [
             frozenset([assignment[edge.target]])
             if edge.target in assignment
@@ -212,11 +235,12 @@ def _try_extend(
                 frozenset((edge.label, t) for t in edge_domain)
                 for edge, edge_domain in zip(node.edges, edge_domains)
             ]
-            witness = run_with_choices(nfa, choice_sets)
+            witness = _ordered_witness(engine, schema, tid, choice_sets)
             if witness is None:
                 return None
             chosen = [symbol[1] for symbol in witness]
         else:
+            nfa = engine.content_nfa(schema, tid)
             groups: Dict[Tuple[str, FrozenSet[str]], List[int]] = {}
             for index, (edge, edge_domain) in enumerate(zip(node.edges, edge_domains)):
                 groups.setdefault((edge.label, edge_domain), []).append(index)
@@ -268,6 +292,8 @@ def verify_assignment(
 
     Used by tests as an independent oracle for :func:`find_type_assignment`.
     """
+    if engine is None:
+        engine = get_default_engine()
     if assignment.get(graph.root) != schema.root:
         return False
     for node in graph:
@@ -287,16 +313,15 @@ def verify_assignment(
             return False
         if any(edge.target not in assignment for edge in node.edges):
             return False
-        nfa = schema.compile_regex(tid, engine)
         typed_edges = [
             (edge.label, assignment[edge.target]) for edge in node.edges
         ]
         if node.is_ordered:
-            if not nfa.accepts(typed_edges):
+            if not _ordered_member(engine, schema, tid, typed_edges):
                 return False
         else:
             from ..automata.bag import bag_accepts
 
-            if not bag_accepts(nfa, typed_edges):
+            if not bag_accepts(schema.compile_regex(tid, engine), typed_edges):
                 return False
     return True

@@ -134,6 +134,19 @@ class TypeDef:
     def __delattr__(self, name: str) -> None:
         raise AttributeError("TypeDef is immutable")
 
+    # Slots plus the immutability guard defeat default pickling; restore
+    # through object.__setattr__ (validation already ran when the original
+    # was built).
+    def __getstate__(self):
+        return (self.tid, self.kind, self.atomic, self.regex)
+
+    def __setstate__(self, state) -> None:
+        tid, kind, atomic, regex = state
+        object.__setattr__(self, "tid", tid)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "atomic", atomic)
+        object.__setattr__(self, "regex", regex)
+
     @property
     def is_referenceable(self) -> bool:
         return self.tid.startswith("&")
@@ -228,6 +241,26 @@ class Schema:
                 f"entries (attempted to set {name!r})"
             )
         object.__setattr__(self, name, value)
+
+    # A frozen schema holds its types in a MappingProxyType (unpicklable)
+    # and rejects ordinary setattr, so pickling goes through the type list.
+    # The fingerprint is recomputed on restore — it is a pure function of
+    # the definitions, so equal schemas keep equal fingerprints across
+    # processes (which is what lets shipped artifacts hit worker caches).
+    def __getstate__(self):
+        return (list(self.types.values()), self.root, self._fingerprint is not None)
+
+    def __setstate__(self, state) -> None:
+        type_list, root, was_frozen = state
+        object.__setattr__(
+            self, "types", {type_def.tid: type_def for type_def in type_list}
+        )
+        object.__setattr__(self, "root", root)
+        object.__setattr__(self, "_fingerprint", None)
+        object.__setattr__(self, "_edges_cache", None)
+        object.__setattr__(self, "_inhabited_cache", None)
+        if was_frozen:
+            self.fingerprint()
 
     def _validate(self) -> None:
         for type_def in self.types.values():

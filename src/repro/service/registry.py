@@ -78,9 +78,12 @@ def prewarm(schema: Schema, engine: Engine) -> int:
 
     Runs every construction a decision endpoint will need: the symbol
     alphabet, the inhabited-type set, the schema graph, the reachability
-    object, and the (restricted) content NFA of every collection type.
-    Returns the number of cache entries the engine holds afterwards, so
-    callers can report how much was warmed.
+    object, and the (restricted) content automata of every collection
+    type — on the compiled backend that means running the full compile
+    pipeline (NFA → subset → Hopcroft → tables) per type up front, so no
+    request pays a first-touch compile.  Returns the number of cache
+    entries the engine holds afterwards, so callers can report how much
+    was warmed.
     """
     engine.symbol_alphabet(schema)
     engine.inhabited_types(schema)
@@ -90,6 +93,9 @@ def prewarm(schema: Schema, engine: Engine) -> int:
         if not schema.type(tid).is_atomic:
             engine.content_nfa(schema, tid)
             engine.restricted_content_nfa(schema, tid)
+            if engine.backend == "compiled":
+                engine.compiled_content(schema, tid)
+                engine.compiled_restricted_content(schema, tid)
     return len(engine.cache)
 
 
@@ -244,6 +250,7 @@ class SchemaRegistry:
         for entry in entries:
             stats = entry.engine.stats()
             engines[entry.fingerprint] = {
+                "backend": entry.engine.backend,
                 "hits": stats.hits,
                 "misses": stats.misses,
                 "evictions": stats.evictions,

@@ -48,9 +48,9 @@ from typing import (
     Union,
 )
 
-from ..automata.nfa import EPS, NFA
 from ..automata.syntax import ANY, Regex, Sym
 from ..engine import Engine, get_default_engine
+from ..engine.core import Runner
 from ..query.model import PatternDef, PatternKind, Query
 from ..schema.model import ATOMIC_TYPE_NAMES, Schema, TypeKind
 from .reach import SchemaReach
@@ -82,8 +82,14 @@ class DefSpec(NamedTuple):
     partial: Optional[Tuple[Tuple[int, int], ...]] = None
 
 
-#: A pending path requirement: (arm key, NFA state set of the arm's regex).
-Requirement = Tuple[Tuple[str, int], FrozenSet[int]]
+#: A pending path requirement: (arm key, walk state of the arm's path
+#: automaton).  The state is backend-dependent — a frozenset of NFA
+#: states on the legacy backend, an integer DFA state on the compiled
+#: one — and always opaque: it is only hashed, compared, and passed back
+#: into the automaton that produced it.  A dead walk is represented by
+#: the *absence* of a requirement, never by a falsy state (integer state
+#: 0 is live).
+Requirement = Tuple[Tuple[str, int], object]
 
 
 def is_satisfiable(
@@ -111,7 +117,7 @@ class SatisfiabilityChecker:
         self.schema = schema
         self.engine = engine if engine is not None else get_default_engine()
         self.reach = self.engine.reach(schema)
-        self.reachable = schema.reachable_types(self.engine)
+        self.reachable = self.engine.reachable_types(schema)
         self.enumerated: int = 0  # pin assignments tried, for instrumentation
 
     # ------------------------------------------------------------------
@@ -342,9 +348,8 @@ class _PinnedChecker:
         return False
 
     def _req_accepting(self, req: Requirement) -> bool:
-        key, states = req
-        nfa = self.reach.compile_path(self.arms[key].regex)
-        return bool(states & nfa.accepting)
+        key, state = req
+        return self.reach.path(self.arms[key].regex).is_accepting(state)
 
     def _vars_and_paths_sat(
         self,
@@ -401,9 +406,10 @@ class _PinnedChecker:
     # Word search over a type's content model
     # ------------------------------------------------------------------
 
-    def _type_nfa(self, tid: str) -> NFA:
-        """The type's content NFA, restricted to inhabited targets."""
-        return self.engine.restricted_content_nfa(self.schema, tid)
+    def _type_runner(self, tid: str) -> Runner:
+        """The type's content automaton (restricted to inhabited targets)
+        on the engine's backend."""
+        return self.engine.content_runner(self.schema, tid, restricted=True)
 
     def _word_search(
         self,
@@ -414,13 +420,21 @@ class _PinnedChecker:
         """Does some child word of type ``tid`` realize all pattern arms of
         ``defs`` and carry all ``reqs`` into (or out of) its children?
 
-        Searches the product of the content NFA with per-definition arm
-        progress and the set of unplaced requirements.  Ordered definitions
-        advance their arms left to right on distinct word positions
-        (Definition 2.2's ordering); unordered definitions may place arms
-        anywhere, overlapping freely (set semantics).
+        Searches the product of the content automaton with per-definition
+        arm progress and the set of unplaced requirements.  Ordered
+        definitions advance their arms left to right on distinct word
+        positions (Definition 2.2's ordering); unordered definitions may
+        place arms anywhere, overlapping freely (set semantics).
+
+        On the compiled backend the content automaton is a minimized,
+        dead-state-pruned table, so every offered symbol can still
+        complete a content word — the search never wanders into doomed
+        word prefixes.
         """
-        nfa = self._type_nfa(tid)
+        runner = self._type_runner(tid)
+        content_start = runner.initial()
+        if content_start is None:
+            return False  # the content language is empty
 
         def initial_progress(spec: DefSpec):
             if spec.kind is PatternKind.ORDERED and spec.partial is None:
@@ -428,20 +442,20 @@ class _PinnedChecker:
             return frozenset()
 
         start = (
-            nfa.initial_states(),
+            content_start,
             tuple(initial_progress(spec) for spec in defs),
             reqs,
         )
         visited: Set[Tuple] = set()
         stack = [start]
         while stack:
-            states, progress, remaining = stack.pop()
-            key = (states, progress, remaining)
+            state, progress, remaining = stack.pop()
+            key = (state, progress, remaining)
             if key in visited:
                 continue
             visited.add(key)
             if (
-                (states & nfa.accepting)
+                runner.is_accepting(state)
                 and not remaining
                 and all(
                     self._def_complete(spec, prog)
@@ -449,28 +463,33 @@ class _PinnedChecker:
                 )
             ):
                 return True
-            for symbol in self._available_symbols(nfa, states):
-                next_states = nfa.step(states, symbol)
-                if not next_states:
+            for symbol in runner.available_symbols(state):
+                next_state = runner.step(state, symbol)
+                if next_state is None:
                     continue
                 label, child_tid = symbol
                 for advance, riders in self._placements(defs, progress, remaining, label):
                     child_reqs: List[Requirement] = []
                     ok = True
                     for spec, arm in advance:
-                        arm_nfa = self.reach.compile_path(arm.regex)
-                        stepped = arm_nfa.step(arm_nfa.initial_states(), label)
-                        if not stepped:
+                        arm_runner = self.reach.path(arm.regex)
+                        arm_start = arm_runner.initial()
+                        stepped = (
+                            arm_runner.step(arm_start, label)
+                            if arm_start is not None
+                            else None
+                        )
+                        if stepped is None:
                             ok = False
                             break
                         child_reqs.append((arm.key, stepped))
                     if not ok:
                         continue
-                    for key_states in riders:
-                        arm_key, arm_states = key_states
-                        arm_nfa = self.reach.compile_path(self.arms[arm_key].regex)
-                        stepped = arm_nfa.step(arm_states, label)
-                        if not stepped:
+                    for key_state in riders:
+                        arm_key, arm_state = key_state
+                        arm_runner = self.reach.path(self.arms[arm_key].regex)
+                        stepped = arm_runner.step(arm_state, label)
+                        if stepped is None:
                             ok = False
                             break
                         child_reqs.append((arm_key, stepped))
@@ -480,7 +499,7 @@ class _PinnedChecker:
                         continue
                     new_progress = self._advance_progress(defs, progress, advance)
                     stack.append(
-                        (next_states, new_progress, remaining - frozenset(riders))
+                        (next_state, new_progress, remaining - frozenset(riders))
                     )
         return False
 
@@ -489,15 +508,6 @@ class _PinnedChecker:
         if isinstance(prog, int):
             return prog == len(spec.arms)
         return len(prog) == len(spec.arms)
-
-    @staticmethod
-    def _available_symbols(nfa: NFA, states: FrozenSet[int]):
-        symbols = set()
-        for q in states:
-            for symbol, _dst in nfa.arcs_from(q):
-                if symbol is not EPS:
-                    symbols.add(symbol)
-        return sorted(symbols)
 
     def _placements(
         self,
@@ -564,11 +574,13 @@ class _PinnedChecker:
                 yield advance, tuple(rider_subset)
 
     def _arm_consumes(
-        self, arm: ArmSpec, label: str, states: Optional[FrozenSet[int]] = None
+        self, arm: ArmSpec, label: str, state: Optional[object] = None
     ) -> bool:
-        nfa = self.reach.compile_path(arm.regex)
-        base = states if states is not None else nfa.initial_states()
-        return bool(nfa.step(base, label))
+        runner = self.reach.path(arm.regex)
+        base = state if state is not None else runner.initial()
+        if base is None:
+            return False
+        return runner.step(base, label) is not None
 
     def _child_ok(self, child_tid: str, child_reqs: List[Requirement]) -> bool:
         if not child_reqs:
@@ -600,10 +612,10 @@ class _PinnedChecker:
     # ------------------------------------------------------------------
 
     def _single_completion(self, start_tid: str, req: Requirement) -> bool:
-        key, states = req
+        key, state = req
         arm = self.arms[key]
         end_types = self._completion_types(arm.target)
-        return self.reach.can_complete(arm.regex, start_tid, states, end_types)
+        return self.reach.can_complete(arm.regex, start_tid, state, end_types)
 
     def _completion_types(self, var: str) -> FrozenSet[str]:
         """Types at which a path targeting ``var`` may end.

@@ -71,17 +71,28 @@ def pattern_trace_nfa(
     """
     if engine is None:
         engine = get_default_engine()
+    regex = pattern_trace_regex(arms, allowed_types, root_types)
+    alphabet = frozenset(schema.labels()) | frozenset(regex.symbols())
+    return engine.thompson(regex, alphabet)
+
+
+def pattern_trace_regex(
+    arms: Sequence[Regex],
+    allowed_types: Sequence[Iterable[str]],
+    root_types: Iterable[str],
+) -> Regex:
+    """The trace regex ``mark0 · R1 · mark1 ... Rk · markk`` of ``Tr(P)``.
+
+    Hash-consing makes the assembled regex a cheap, stable cache key for
+    both the Thompson route and the compiled route.
+    """
     if len(arms) != len(allowed_types):
         raise ValueError("arms and allowed_types must align")
     parts: List[Regex] = [alt(*(Sym(marker(0, t)) for t in root_types))]
     for index, (arm, types) in enumerate(zip(arms, allowed_types), start=1):
         parts.append(arm)
         parts.append(alt(*(Sym(marker(index, t)) for t in types)))
-    regex = concat(*parts)
-    alphabet: Set[object] = set(schema.labels())
-    for part in parts:
-        alphabet |= set(part.symbols())
-    return engine.thompson(regex, alphabet)
+    return concat(*parts)
 
 
 def schema_trace_nfa(
@@ -241,7 +252,32 @@ def flat_satisfiable(
     This is the paper's ``Tr(P) ∩ Tr(S) ≠ ∅`` criterion, used in tests as an
     independent oracle for the general checker of
     :mod:`repro.typing.satisfiability`.
+
+    On the compiled backend the emptiness check is a pair-BFS over the
+    minimized tables of ``Tr(P)`` and each per-root ``Tr(S)``
+    (:meth:`~repro.automata.compiled.CompiledDFA.product_empty`), skipping
+    the explicit product NFA; the NFA route materializes and trims the
+    product and is kept for differential testing (and for the callers that
+    need the product itself — inference, feedback).
     """
+    if engine is None:
+        engine = get_default_engine()
+    if engine.backend == "compiled":
+        root_types = tuple(root_types)
+        arms = tuple(arms)
+        allowed_types = tuple(tuple(types) for types in allowed_types)
+        regex = pattern_trace_regex(arms, allowed_types, root_types)
+        alphabet = frozenset(schema.labels()) | frozenset(regex.symbols())
+        pattern = engine.compiled_path(regex, alphabet)
+        ordered = [t for t in root_types if schema.type(t).is_ordered]
+        if not ordered:
+            raise ValueError("no ordered candidate root types")
+        return any(
+            not pattern.product_empty(
+                engine.compiled_trace(schema, root_tid, len(arms))
+            )
+            for root_tid in ordered
+        )
     return not trace_product(
         schema, root_types, arms, allowed_types, engine=engine
     ).is_empty()

@@ -1,0 +1,176 @@
+"""Compiled table-driven DFAs vs the reference NFA/Brzozowski layer.
+
+Every public :class:`repro.automata.compiled.CompiledDFA` operation is
+checked against the existing automata implementations on seeded random
+regexes — the same agreement the ``compiled`` fuzz section enforces at
+scale, pinned here as fast deterministic regressions.
+"""
+
+import itertools
+import pickle
+import random
+
+import pytest
+
+from repro.automata import (
+    EMPTY,
+    EPSILON,
+    Sym,
+    intersect,
+    ops,
+    star,
+    thompson,
+    word,
+)
+from repro.automata.compiled import (
+    PICKLE_VERSION,
+    CompiledDFA,
+    compile_nfa,
+    run_with_choices_compiled,
+)
+from repro.workloads.generators import random_regex
+
+ALPHABET = ("a", "b", "c")
+
+
+def all_words(max_len):
+    for length in range(max_len + 1):
+        yield from itertools.product(ALPHABET, repeat=length)
+
+
+def regex_pair(seed):
+    rng = random.Random(seed)
+    return (
+        random_regex(rng, ALPHABET, max_depth=3),
+        random_regex(rng, ALPHABET, max_depth=3),
+    )
+
+
+class TestMembership:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_member_agrees_with_nfa_accepts(self, seed):
+        regex, _ = regex_pair(seed)
+        nfa = thompson(regex, ALPHABET)
+        dfa = compile_nfa(nfa)
+        for w in all_words(4):
+            assert dfa.member(w) == nfa.accepts(w), (regex, w)
+
+    def test_member_rejects_unknown_symbols(self):
+        dfa = compile_nfa(thompson(star(Sym("a")), ALPHABET))
+        assert dfa.member(("a", "a"))
+        assert not dfa.member(("a", "z"))
+
+    def test_runner_contract_with_state_zero(self):
+        # Integer state 0 is live — `is None` checks, never falsy ones.
+        dfa = compile_nfa(thompson(word(["a", "b"]), ALPHABET))
+        state = dfa.initial()
+        assert state is not None
+        state = dfa.step(state, "a")
+        assert state is not None
+        assert not dfa.is_accepting(state)
+        assert "b" in dfa.available_symbols(state)
+        state = dfa.step(state, "b")
+        assert state is not None and dfa.is_accepting(state)
+        assert dfa.step(state, "a") is None
+
+
+class TestDecisions:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_product_empty_agrees_with_intersection(self, seed):
+        left, right = regex_pair(seed)
+        a = compile_nfa(thompson(left, ALPHABET))
+        b = compile_nfa(thompson(right, ALPHABET))
+        expected = intersect(
+            thompson(left, ALPHABET), thompson(right, ALPHABET)
+        ).is_empty()
+        assert a.product_empty(b) == expected, (left, right)
+        assert b.product_empty(a) == expected
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_is_subset_agrees_with_ops(self, seed):
+        left, right = regex_pair(seed)
+        a = compile_nfa(thompson(left, ALPHABET))
+        b = compile_nfa(thompson(right, ALPHABET))
+        expected = ops.is_subset(thompson(left, ALPHABET), thompson(right, ALPHABET))
+        assert a.is_subset(b) == expected, (left, right)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_shortest_word_is_minimal_and_accepted(self, seed):
+        regex, _ = regex_pair(seed)
+        nfa = thompson(regex, ALPHABET)
+        dfa = compile_nfa(nfa)
+        witness = dfa.shortest_word()
+        if dfa.is_empty():
+            assert witness is None
+            return
+        assert witness is not None and nfa.accepts(witness)
+        shorter = (w for w in all_words(len(witness) - 1)) if witness else iter(())
+        assert not any(nfa.accepts(w) for w in shorter)
+
+    def test_empty_language_decisions(self):
+        empty = compile_nfa(thompson(EMPTY, ALPHABET))
+        full = compile_nfa(thompson(star(Sym("a")), ALPHABET))
+        assert empty.product_empty(full) and full.product_empty(empty)
+        assert empty.is_subset(full)
+        assert not full.is_subset(empty)
+        assert empty.is_subset(empty)
+
+
+class TestWitnessRuns:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_run_with_choices_parity(self, seed):
+        regex, _ = regex_pair(seed)
+        rng = random.Random(seed * 7 + 1)
+        nfa = thompson(regex, ALPHABET)
+        dfa = compile_nfa(nfa)
+        choice_sets = [
+            frozenset(rng.sample(ALPHABET, rng.randint(1, 3)))
+            for _ in range(rng.randint(0, 4))
+        ]
+        compiled = run_with_choices_compiled(dfa, choice_sets)
+        reference = ops.run_with_choices(nfa, choice_sets)
+        # None-parity: a witness exists on one side iff on the other.
+        assert (compiled is None) == (reference is None), (regex, choice_sets)
+        if compiled is not None:
+            assert len(compiled) == len(choice_sets)
+            assert all(s in cs for s, cs in zip(compiled, choice_sets))
+            assert nfa.accepts(compiled)
+
+    def test_run_with_choices_deterministic(self):
+        dfa = compile_nfa(thompson(star(Sym("a") | Sym("b")), ALPHABET))
+        sets = [frozenset(("b", "a")), frozenset(("a",))]
+        first = run_with_choices_compiled(dfa, sets)
+        second = run_with_choices_compiled(dfa, sets)
+        assert first == second == ["a", "a"]
+
+    def test_run_with_choices_empty_word(self):
+        nullable = compile_nfa(thompson(EPSILON, ALPHABET))
+        assert run_with_choices_compiled(nullable, []) == []
+        strict = compile_nfa(thompson(Sym("a"), ALPHABET))
+        assert run_with_choices_compiled(strict, []) is None
+
+
+class TestPickle:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_round_trip_preserves_language(self, seed):
+        regex, _ = regex_pair(seed)
+        dfa = compile_nfa(thompson(regex, ALPHABET))
+        clone = pickle.loads(pickle.dumps(dfa))
+        assert clone.n_states == dfa.n_states
+        assert clone.symbols == dfa.symbols
+        assert clone.start == dfa.start
+        assert clone.table == dfa.table
+        assert clone.accepting == dfa.accepting
+        for w in all_words(3):
+            assert clone.member(w) == dfa.member(w)
+
+    def test_round_trip_empty_language(self):
+        clone = pickle.loads(pickle.dumps(compile_nfa(thompson(EMPTY, ALPHABET))))
+        assert clone.is_empty() and clone.start == -1
+
+    def test_version_mismatch_rejected(self):
+        dfa = compile_nfa(thompson(Sym("a"), ALPHABET))
+        state = dfa.__getstate__()
+        bad = (PICKLE_VERSION + 1,) + tuple(state[1:])
+        with pytest.raises(ValueError, match="version"):
+            CompiledDFA.__new__(CompiledDFA).__setstate__(bad)

@@ -1,0 +1,142 @@
+"""Hopcroft minimization vs a brute-force Myhill–Nerode oracle.
+
+The property test draws random *total* DFAs and checks that
+:func:`repro.automata.compiled.hopcroft_partition` groups two states into
+one block exactly when the brute-force oracle — "accept the same word set
+up to length ``n_states``" — says their right languages are equal (for an
+``n``-state DFA, any two distinguishable states are distinguished by a
+word shorter than ``n``, so the bounded oracle is exact).
+"""
+
+import itertools
+import random
+
+from repro.automata import ANY, EMPTY, Sym, star, thompson, word
+from repro.automata.compiled import compile_nfa, hopcroft_partition
+
+ALPHABET = ("a", "b")
+
+
+def random_total_dfa(rng, n_states, n_symbols):
+    rows = [
+        [rng.randrange(n_states) for _ in range(n_symbols)]
+        for _ in range(n_states)
+    ]
+    accepting = [rng.random() < 0.4 for _ in range(n_states)]
+    return rows, accepting
+
+
+def brute_equivalent(rows, accepting, p, q, max_len):
+    """Right-language equality by enumerating all words up to ``max_len``."""
+    n_symbols = len(rows[0])
+    for length in range(max_len + 1):
+        for letters in itertools.product(range(n_symbols), repeat=length):
+            a, b = p, q
+            for c in letters:
+                a = rows[a][c]
+                b = rows[b][c]
+            if accepting[a] != accepting[b]:
+                return False
+    return True
+
+
+class TestHopcroftProperty:
+    def test_partition_matches_myhill_nerode_on_random_dfas(self):
+        rng = random.Random(20260807)
+        for _case in range(150):
+            n_states = rng.randint(1, 5)
+            n_symbols = rng.randint(1, 2)
+            rows, accepting = random_total_dfa(rng, n_states, n_symbols)
+            block_of = hopcroft_partition(n_states, n_symbols, rows, accepting)
+            assert len(block_of) == n_states
+            for p in range(n_states):
+                for q in range(p + 1, n_states):
+                    oracle = brute_equivalent(rows, accepting, p, q, n_states)
+                    hopcroft = block_of[p] == block_of[q]
+                    assert hopcroft == oracle, (
+                        f"states {p},{q} of {rows}/{accepting}: "
+                        f"hopcroft={hopcroft} oracle={oracle}"
+                    )
+
+    def test_partition_is_consistent_with_transitions(self):
+        # Equivalent states must go to equivalent states on every symbol.
+        rng = random.Random(7)
+        for _case in range(80):
+            n_states = rng.randint(2, 6)
+            n_symbols = rng.randint(1, 3)
+            rows, accepting = random_total_dfa(rng, n_states, n_symbols)
+            block_of = hopcroft_partition(n_states, n_symbols, rows, accepting)
+            for p in range(n_states):
+                for q in range(n_states):
+                    if block_of[p] != block_of[q]:
+                        continue
+                    assert accepting[p] == accepting[q]
+                    for c in range(n_symbols):
+                        assert block_of[rows[p][c]] == block_of[rows[q][c]]
+
+
+class TestHopcroftRegressions:
+    def test_no_symbols(self):
+        # A zero-symbol DFA only distinguishes accepting from rejecting.
+        assert hopcroft_partition(1, 0, [[]], [True]) == [0]
+        blocks = hopcroft_partition(2, 0, [[], []], [True, False])
+        assert blocks[0] != blocks[1]
+
+    def test_all_accepting_collapses_to_one_block(self):
+        rows = [[1, 0], [0, 1]]
+        assert len(set(hopcroft_partition(2, 2, rows, [True, True]))) == 1
+
+    def test_empty_language_pipeline(self):
+        dfa = compile_nfa(thompson(EMPTY, ALPHABET))
+        assert dfa.is_empty()
+        assert dfa.n_states == 0
+        assert dfa.start == -1
+        assert dfa.initial() is None
+        assert not dfa.member(())
+        assert not dfa.member(("a",))
+        assert dfa.shortest_word() is None
+
+    def test_universal_language_pipeline(self):
+        dfa = compile_nfa(thompson(star(ANY), ALPHABET))
+        # Everything-accepts minimizes to a single state.
+        assert dfa.n_states == 1
+        assert dfa.member(())
+        assert dfa.member(("a", "b", "a", "a"))
+        assert dfa.shortest_word() == ()
+
+    def test_single_word_pipeline(self):
+        dfa = compile_nfa(thompson(word(["a", "b", "a"]), ALPHABET))
+        # A single word of length 3 needs exactly its 4 prefix states
+        # once dead states are pruned.
+        assert dfa.n_states == 4
+        assert dfa.member(("a", "b", "a"))
+        assert not dfa.member(("a", "b"))
+        assert not dfa.member(("a", "b", "a", "a"))
+        assert not dfa.member(("b",))
+        assert dfa.shortest_word() == ("a", "b", "a")
+
+    def test_unreachable_states_are_dropped(self):
+        # L = a·b: the subset construction over a larger alphabet leaves
+        # dead prefixes; only the 3 live prefix states must remain.
+        dfa = compile_nfa(thompson(word(["a", "b"]), ("a", "b", "c")))
+        assert dfa.n_states == 3
+        assert dfa.member(("a", "b"))
+        assert not dfa.member(("a", "c"))
+
+    def test_equivalent_branches_merge(self):
+        # (a·a) | (b·a) — the two middle states have equal right
+        # languages and must share a block: start, middle, accept.
+        regex = word(["a", "a"]) | word(["b", "a"])
+        dfa = compile_nfa(thompson(regex, ALPHABET))
+        assert dfa.n_states == 3
+        assert dfa.member(("a", "a")) and dfa.member(("b", "a"))
+        assert not dfa.member(("a", "b"))
+
+    def test_determinism_across_builds(self):
+        regex = star(Sym("a") | word(["b", "a"])) + Sym("b")
+        first = compile_nfa(thompson(regex, ALPHABET))
+        second = compile_nfa(thompson(regex, ALPHABET))
+        assert first.symbols == second.symbols
+        assert first.table == second.table
+        assert first.accepting == second.accepting
+        assert first.start == second.start

@@ -1,0 +1,99 @@
+"""Shippable engine artifacts: capture → bytes → install round-trips.
+
+The process executor's whole speedup rests on these invariants: the
+payload carries only process-independent pure data, survives an honest
+pickle round-trip with identity-interned regexes and a stable schema
+fingerprint, and a worker seeded from it answers decisions without
+recompiling the schema's automata.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine import (
+    ARTIFACT_VERSION,
+    Engine,
+    EngineArtifact,
+    prewarm_schema,
+)
+from repro.schema import parse_schema, schema_to_string
+from repro.workloads import document_schema
+
+SCHEMA = document_schema(3)
+
+
+def _captured(backend="compiled"):
+    engine = Engine(backend=backend)
+    prewarm_schema(engine, SCHEMA)
+    return engine, EngineArtifact.capture(engine, SCHEMA)
+
+
+class TestCapture:
+    def test_capture_ships_only_shippable_kinds(self):
+        _engine, artifact = _captured()
+        assert len(artifact) > 0
+        kinds = {key[0] for key in artifact.entries}
+        assert "compiled-content" in kinds
+        # Runner wrappers and raw NFAs hold process-local references
+        # and must never ship.
+        assert not kinds & {"content-runner", "path-runner", "content-nfa"}
+
+    def test_capture_records_the_parent_backend(self):
+        for backend in ("nfa", "compiled"):
+            engine = Engine(backend=backend)
+            prewarm_schema(engine, SCHEMA)
+            assert EngineArtifact.capture(engine, SCHEMA).backend == backend
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip_preserves_entries(self):
+        _engine, artifact = _captured()
+        clone = EngineArtifact.from_bytes(artifact.to_bytes())
+        assert clone.backend == artifact.backend
+        assert set(clone.entries) == set(artifact.entries)
+        assert clone.schema.fingerprint() == SCHEMA.fingerprint()
+
+    def test_version_mismatch_is_rejected(self):
+        _engine, artifact = _captured()
+        payload = pickle.loads(artifact.to_bytes())
+        payload["version"] = ARTIFACT_VERSION + 1
+        with pytest.raises(ValueError, match="version mismatch"):
+            EngineArtifact.from_bytes(pickle.dumps(payload))
+
+    def test_regex_identity_survives_the_trip(self):
+        # Hash-consed regexes re-intern on unpickle, so the shipped
+        # schema's regexes are identical (is) to locally parsed ones —
+        # the property that makes shipped cache keys match local keys.
+        _engine, artifact = _captured()
+        clone = EngineArtifact.from_bytes(artifact.to_bytes())
+        local = parse_schema(schema_to_string(SCHEMA))
+        for type_def in clone.schema:
+            if type_def.regex is not None:
+                assert type_def.regex is local.type(type_def.tid).regex
+
+
+class TestInstall:
+    def test_installed_engine_answers_without_recompiling(self):
+        parent, artifact = _captured()
+        worker = EngineArtifact.from_bytes(artifact.to_bytes()).install()
+        assert worker.backend == parent.backend
+        schema = artifact.schema
+        tid = next(t.tid for t in schema if not t.is_atomic)
+        worker_dfa = worker.compiled_content(schema, tid)
+        after = worker.cache.stats()
+        kind = after.by_kind["compiled-content"]
+        assert kind.hits > 0 and kind.misses == 0
+        # The shipped table decides identically to a cold local build.
+        cold = Engine(backend="compiled").compiled_content(schema, tid)
+        assert worker_dfa.table == cold.table
+        assert worker_dfa.symbols == cold.symbols
+        assert worker_dfa.accepting == cold.accepting
+
+    def test_install_into_existing_engine_keeps_its_entries(self):
+        _parent, artifact = _captured()
+        target = Engine(backend="compiled")
+        target.symbol_alphabet(SCHEMA)
+        seeded = artifact.install(target)
+        assert seeded is target
+        assert len(target.cache) >= len(artifact)

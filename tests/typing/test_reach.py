@@ -39,16 +39,14 @@ class TestStartSymbols:
 class TestCompletions:
     def test_end_types(self, reach):
         regex = concat(Sym("paper"), star(ANY))
-        states = reach.compile_path(regex).step(
-            reach.initial_states(regex), "paper"
-        )
+        states = reach.path(regex).step(reach.initial_states(regex), "paper")
         ends = reach.reachable_end_types(regex, "PAPER", states)
         # paper._* can stop at PAPER itself or anything below it.
         assert ends == {"PAPER", "TITLE", "AUTHOR", "NAME"}
 
     def test_can_complete(self, reach):
         regex = word(["paper", "author", "name"])
-        after_paper = reach.compile_path(regex).step(
+        after_paper = reach.path(regex).step(
             reach.initial_states(regex), "paper"
         )
         assert reach.can_complete(regex, "PAPER", after_paper, {"NAME"})
@@ -57,9 +55,7 @@ class TestCompletions:
 
     def test_completions_include_start(self, reach):
         regex = Sym("paper")
-        states = reach.compile_path(regex).step(
-            reach.initial_states(regex), "paper"
-        )
+        states = reach.path(regex).step(reach.initial_states(regex), "paper")
         configurations = reach.completions(regex, "PAPER", states)
         assert ("PAPER", states) in configurations
 
