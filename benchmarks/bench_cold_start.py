@@ -1,0 +1,175 @@
+"""Cold-start benchmark — daemon restart against a warmed artifact store.
+
+The persistent artifact store exists for exactly one scenario: a process
+that starts *now* but wants the compiled state of a process that ran
+*before*.  This benchmark plays that scenario over real HTTP, twice:
+
+* **cold** — a daemon boots with an empty registry and no store; the
+  first request wave must register every schema (parse + pre-warm + the
+  full compile pipeline) before its query can be answered;
+* **warm restart** — a previous daemon "life" registered the same corpus
+  against an :class:`~repro.engine.ArtifactStore`; the daemon is then
+  torn down and a fresh one boots over the same store, restoring every
+  compiled artifact at construction.  Its first request wave addresses
+  schemas by fingerprint and should ride the restored tables.
+
+Acceptance shape: the warm-restart first wave must reach at least 3x the
+cold first-wave throughput on the ``satisfiable`` workload, and the
+corpus must re-bake byte-deterministically (``repro warm --check``'s
+invariant, verified here in-process).
+
+Emits a trajectory point to ``BENCH_cold_start.json``.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cold_start.py [--smoke]
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine import ArtifactStore, Engine, EngineArtifact
+from repro.schema import schema_to_string
+from repro.service import SchemaRegistry, ServiceClient, TypedQueryService
+from repro.service.registry import prewarm
+from repro.workloads import schema_corpus
+
+#: Every corpus schema answers this generic wildcard query positively.
+QUERY = "SELECT X WHERE Root = [_ -> X]"
+
+
+def first_wave_cold(schemas) -> dict:
+    """Boot an empty, store-less daemon; register + query every schema."""
+    with TypedQueryService(registry=SchemaRegistry()) as service:
+        client = ServiceClient(service.host, service.port)
+        started = time.perf_counter()
+        for text in schemas:
+            fingerprint = client.register_schema(text)["fingerprint"]
+            result = client.satisfiable(fingerprint, QUERY)
+            assert result["satisfiable"] is True
+        elapsed = time.perf_counter() - started
+    return {"elapsed_s": elapsed, "rps": len(schemas) / elapsed}
+
+
+def first_wave_warm(schemas, cache_dir) -> dict:
+    """Warm the store in a first daemon life, restart, query the wave."""
+    # Life 1: register the corpus so every compiled artifact persists.
+    registry = SchemaRegistry(store=ArtifactStore(root=cache_dir))
+    fingerprints = [registry.register(text).fingerprint for text in schemas]
+    del registry  # the daemon "dies"; only the store survives
+
+    # Life 2: a fresh daemon restores the store at construction.
+    store = ArtifactStore(root=cache_dir)
+    restore_started = time.perf_counter()
+    restored_registry = SchemaRegistry(store=store)
+    restore_s = time.perf_counter() - restore_started
+    restored = restored_registry.stats()["restored"]
+    assert restored == len(schemas), (restored, len(schemas))
+
+    with TypedQueryService(registry=restored_registry) as service:
+        client = ServiceClient(service.host, service.port)
+        started = time.perf_counter()
+        for fingerprint in fingerprints:
+            result = client.satisfiable(fingerprint, QUERY)
+            assert result["satisfiable"] is True
+        elapsed = time.perf_counter() - started
+    return {
+        "elapsed_s": elapsed,
+        "rps": len(schemas) / elapsed,
+        "restore_s": restore_s,
+        "restored": restored,
+        "store": store.stats(),
+    }
+
+
+def check_determinism(corpus) -> int:
+    """Bake every schema twice; count byte-diverging artifacts."""
+    nondeterministic = 0
+    for schema in corpus:
+        def bake() -> bytes:
+            engine = Engine()
+            prewarm(schema, engine)
+            return EngineArtifact.capture(engine, schema).to_bytes()
+
+        if bake() != bake():
+            nondeterministic += 1
+    return nondeterministic
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny corpus; checks the shape and direction, not the 3x bar",
+    )
+    parser.add_argument(
+        "--schemas", type=int, default=None, help="override the corpus size"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_cold_start.json"),
+        help="trajectory file to write",
+    )
+    args = parser.parse_args(argv)
+    n_schemas = args.schemas or (4 if args.smoke else 12)
+
+    corpus = schema_corpus(n_schemas, seed=0)
+    total_types = sum(len(list(schema.tids())) for schema in corpus)
+    texts = [schema_to_string(schema) for schema in corpus]
+    print(f"corpus: {n_schemas} schemas, {total_types} types total")
+
+    cold = first_wave_cold(texts)
+    with tempfile.TemporaryDirectory(prefix="repro-cold-start-") as cache_dir:
+        warm = first_wave_warm(texts, cache_dir)
+    speedup = warm["rps"] / cold["rps"]
+    nondeterministic = check_determinism(corpus)
+
+    print(
+        f"cold first wave   {cold['rps']:8.1f} req/s "
+        f"({cold['elapsed_s'] * 1000:.0f} ms)"
+    )
+    print(
+        f"warm restart wave {warm['rps']:8.1f} req/s "
+        f"({warm['elapsed_s'] * 1000:.0f} ms; restore {warm['restore_s'] * 1000:.0f} ms, "
+        f"{warm['restored']} schemas)"
+    )
+    print(f"restart-to-warm speedup {speedup:5.1f}x")
+    print(f"determinism: {nondeterministic} non-deterministic artifact(s)")
+
+    point = {
+        "bench": "cold_start",
+        "smoke": bool(args.smoke),
+        "schemas": n_schemas,
+        "total_types": total_types,
+        "cold_first_wave_rps": round(cold["rps"], 2),
+        "warm_first_wave_rps": round(warm["rps"], 2),
+        "speedup": round(speedup, 2),
+        "restore_s": round(warm["restore_s"], 4),
+        "store_hits": warm["store"]["hits"],
+        "nondeterministic": nondeterministic,
+    }
+    Path(args.out).write_text(json.dumps(point, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if nondeterministic:
+        failures.append(f"{nondeterministic} artifacts re-baked non-identically")
+    bar = 1.0 if args.smoke else 3.0
+    if speedup < bar:
+        failures.append(
+            f"warm restart first wave is only {speedup:.1f}x cold "
+            f"(bar: {bar:.0f}x)"
+        )
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("ok: a restarted daemon over a warmed store beats cold start")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

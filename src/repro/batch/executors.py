@@ -133,18 +133,41 @@ def run_items_shared(
 _WORKER: dict = {}
 
 
-def _process_init(operation: str, payload: Optional[bytes], backend: str) -> None:
+def _process_init(operation: str, payload, backend: str) -> None:
     """Pool initializer: install the parent's compiled artifact.
 
-    ``payload`` is an :class:`~repro.engine.EngineArtifact` as bytes
-    (None for the schema-less ``evaluate`` operation): the schema plus
-    the parent's compiled tables, so the worker unpickles dense integer
-    arrays instead of re-parsing schema text and re-running the compile
-    pipeline from scratch.
+    ``payload`` is one of:
+
+    * ``None`` — the schema-less ``evaluate`` operation;
+    * ``bytes`` — an :class:`~repro.engine.EngineArtifact` payload: the
+      schema plus the parent's compiled tables, so the worker unpickles
+      dense integer arrays instead of re-parsing schema text and
+      re-running the compile pipeline from scratch;
+    * a ``dict`` — a *store reference* ``{"cache_dir", "fingerprint",
+      "schema_text", "syntax", "wrap"}``: the parent persisted the
+      artifact once into an on-disk :class:`~repro.engine.ArtifactStore`
+      and every worker loads it from there, so N workers cost one write
+      plus N reads instead of N pickled payloads over the pipe.  A store
+      miss (racing eviction, corrupt blob) falls back to compiling from
+      the carried schema text — slower, never wrong.
     """
     if payload is None:
         schema: Optional[Schema] = None
         engine = Engine(backend=backend)
+    elif isinstance(payload, dict):
+        from ..engine import ArtifactStore
+
+        store = ArtifactStore(root=payload["cache_dir"], backend=backend)
+        artifact = store.get(payload["fingerprint"])
+        if artifact is not None:
+            engine = artifact.install()
+            schema = artifact.schema
+        else:
+            from .plan import compile_schema
+
+            schema, engine = compile_schema(
+                payload["schema_text"], payload["syntax"], payload["wrap"], backend
+            )
     else:
         artifact = EngineArtifact.from_bytes(payload)
         engine = artifact.install()
@@ -168,21 +191,41 @@ def run_items_process(
     plan: BatchPlan,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    store=None,
 ) -> List[dict]:
     """Decide the plan's items across a process pool, in input order.
 
     The schema is parsed and compiled once in the parent — a syntax
     error must surface as this call's exception, not as an opaque
     ``BrokenProcessPool`` from a dying initializer — and the compiled
-    artifacts ship to each worker as one explicit pickle payload.  (The
+    artifacts reach each worker either as one explicit pickle payload or,
+    with a ``store`` (an :class:`~repro.engine.ArtifactStore`), as a
+    fingerprint the workers load from disk: the artifact is written once
+    and shared by every worker instead of pickled per worker.  (The
     explicit ``to_bytes`` round-trip also holds under the ``fork`` start
     method, where initargs would otherwise reach workers by memory
     inheritance and never exercise pickling.)
     """
     schema, engine = plan.compile()
-    payload: Optional[bytes] = None
+    payload = None
     if schema is not None:
-        payload = EngineArtifact.capture(engine, schema).to_bytes()
+        artifact = EngineArtifact.capture(engine, schema)
+        if store is not None:
+            if store.backend != engine.backend:
+                raise ValueError(
+                    f"artifact store holds backend {store.backend!r} but the "
+                    f"plan compiled for {engine.backend!r}"
+                )
+            store.put(artifact, syntax=plan.syntax)
+            payload = {
+                "cache_dir": str(store.root),
+                "fingerprint": artifact.fingerprint(),
+                "schema_text": plan.schema_text,
+                "syntax": plan.syntax,
+                "wrap": plan.wrap,
+            }
+        else:
+            payload = artifact.to_bytes()
     workers = workers or default_workers()
     chunks = chunk_indexed(plan.items, workers, chunk_size)
     results: List[Optional[dict]] = [None] * len(plan.items)
@@ -215,15 +258,23 @@ def run_batch(
     executor: str = "thread",
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    store=None,
 ) -> BatchResult:
-    """Run ``plan`` under the named executor and summarize the outcome."""
+    """Run ``plan`` under the named executor and summarize the outcome.
+
+    ``store`` (an :class:`~repro.engine.ArtifactStore`) only affects the
+    ``process`` executor, whose workers then load the compiled artifact
+    from disk instead of receiving pickled bytes apiece.
+    """
     if executor not in EXECUTORS:
         raise ValueError(
             f"unknown executor {executor!r} (expected one of {', '.join(EXECUTORS)})"
         )
     started = time.perf_counter()
     if executor == "process":
-        results = run_items_process(plan, workers=workers, chunk_size=chunk_size)
+        results = run_items_process(
+            plan, workers=workers, chunk_size=chunk_size, store=store
+        )
     else:
         schema, engine = plan.compile()
         if executor == "sequential":

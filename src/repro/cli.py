@@ -16,6 +16,8 @@ Commands
 ``fuzz``  differential-test the decision procedures (see ``docs/testing.md``)
 ``batch``  run one operation over many NDJSON items, compiling the
 schema once (see ``docs/service.md``)
+``warm``  pre-bake compiled artifacts for a schema corpus into the
+persistent artifact store (see ``docs/architecture.md``)
 
 Schemas may be given as ScmDL text (``--schema``) or as a DTD
 (``--dtd``); data graphs as Table-1 text (``--data``) or XML (``--xml``).
@@ -337,6 +339,7 @@ def cmd_batch(args: argparse.Namespace) -> Outcome:
             executor=args.executor,
             workers=args.workers,
             chunk_size=args.chunk_size,
+            store=_resolve_store(args) if args.executor == "process" else None,
         )
     except ValueError as error:
         raise UsageError(str(error)) from None
@@ -362,10 +365,135 @@ def cmd_batch(args: argparse.Namespace) -> Outcome:
     return code, result
 
 
+def _resolve_store(args: argparse.Namespace, required: bool = False):
+    """Build the ArtifactStore named by --cache-dir / $REPRO_CACHE_DIR.
+
+    Returns None when neither names a directory (persistent caching is
+    strictly opt-in), unless ``required`` — then it falls back to the
+    user-level default cache directory.
+    """
+    import os as _os
+
+    from .engine import CACHE_DIR_ENV_VAR, ArtifactStore, default_cache_dir
+
+    cache_dir = getattr(args, "cache_dir", None) or _os.environ.get(CACHE_DIR_ENV_VAR)
+    if cache_dir is None:
+        if not required:
+            return None
+        cache_dir = default_cache_dir()
+    return ArtifactStore(root=cache_dir, backend=getattr(args, "backend", None))
+
+
+def cmd_warm(args: argparse.Namespace) -> Outcome:
+    from .engine import Engine, EngineArtifact
+    from .service.registry import prewarm
+
+    store = _resolve_store(args, required=True)
+    sources = []  # (label, schema, syntax)
+    for path in args.schemas:
+        with open(path) as handle:
+            text = handle.read()
+        if path.endswith(".dtd"):
+            sources.append((path, parse_dtd(text, wrap=bool(args.wrap)), "dtd"))
+        else:
+            sources.append((path, parse_schema(text), "scmdl"))
+    if args.generate:
+        from .workloads import schema_corpus
+
+        for index, schema in enumerate(schema_corpus(args.generate, seed=args.seed)):
+            sources.append((f"generated[{index}]", schema, "scmdl"))
+    if not sources:
+        raise UsageError("nothing to warm: give schema files and/or --generate N")
+
+    def bake(schema) -> EngineArtifact:
+        engine = Engine(backend=args.backend)
+        prewarm(schema, engine)
+        return EngineArtifact.capture(engine, schema)
+
+    reports = []
+    written = hits = nondeterministic = 0
+    for label, schema, syntax in sources:
+        fingerprint = schema.fingerprint()
+        hit = store.get(fingerprint) is not None
+        report = {
+            "source": label,
+            "fingerprint": fingerprint,
+            "types": len(list(schema.tids())),
+            "outcome": "hit" if hit else "written",
+        }
+        if hit and not args.check:
+            hits += 1
+            reports.append(report)
+            continue
+        artifact = bake(schema)
+        data = artifact.to_bytes()
+        if args.check:
+            # Determinism gate: re-run the whole compile pipeline and
+            # require byte-identical pickles.  (Within one process; across
+            # processes byte equality additionally needs a pinned
+            # PYTHONHASHSEED — frozensets pickle in hash order.)
+            deterministic = bake(schema).to_bytes() == data
+            report["deterministic"] = deterministic
+            if not deterministic:
+                nondeterministic += 1
+        if hit:
+            hits += 1
+        else:
+            store.put(artifact, syntax=syntax, data=data)
+            written += 1
+            report["bytes"] = len(data)
+            report["entries"] = len(artifact)
+        reports.append(report)
+
+    result = {
+        "cache_dir": str(store.root),
+        "backend": store.backend,
+        "schemas_total": len(sources),
+        "written": written,
+        "hits": hits,
+        "checked": bool(args.check),
+        "nondeterministic": nondeterministic,
+        "schemas": reports,
+        "store": store.stats(),
+    }
+    if not args.json:
+        for report in reports:
+            extra = ""
+            if "deterministic" in report:
+                extra = (
+                    "  deterministic"
+                    if report["deterministic"]
+                    else "  NON-DETERMINISTIC"
+                )
+            print(
+                f"{report['outcome']:8s} {report['fingerprint'][:12]} "
+                f"({report['types']} types) {report['source']}{extra}"
+            )
+        print(
+            f"-- {len(sources)} schema(s): {written} written, {hits} hit(s) "
+            f"in {store.dir}"
+        )
+        if args.check:
+            print(
+                f"-- determinism: {nondeterministic} non-deterministic artifact(s)"
+            )
+    code = EXIT_NEGATIVE if nondeterministic else EXIT_OK
+    return code, result
+
+
 def cmd_serve(args: argparse.Namespace) -> Outcome:
     from .service import SchemaRegistry, ServiceLimits, serve
 
-    registry = SchemaRegistry(max_schemas=args.max_schemas)
+    store = _resolve_store(args)
+    registry = SchemaRegistry(max_schemas=args.max_schemas, store=store)
+    if store is not None and not args.json:
+        restored = sum(
+            1 for entry in registry.entries() if entry.info.get("restored")
+        )
+        print(
+            f"artifact store at {store.dir}: {restored} schema(s) restored",
+            file=sys.stderr,
+        )
     limits = ServiceLimits(
         default_deadline_s=args.deadline,
         max_deadline_s=max(args.deadline, args.max_deadline),
@@ -552,6 +680,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="automata backend for the batch engines "
         "(default: REPRO_BACKEND env var, then 'compiled')",
     )
+    batch_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent artifact store; process-pool workers load the "
+        "compiled schema from here instead of receiving pickled bytes "
+        "(default: $REPRO_CACHE_DIR if set, else disabled)",
+    )
+
+    warm_cmd = add_command(
+        "warm",
+        cmd_warm,
+        help="pre-bake compiled artifacts for a schema corpus into the store",
+    )
+    warm_cmd.add_argument(
+        "schemas",
+        nargs="*",
+        help="schema files (*.dtd parses as DTD, anything else as ScmDL)",
+    )
+    warm_cmd.add_argument(
+        "--generate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also warm N schemas from the deterministic workload corpus",
+    )
+    warm_cmd.add_argument(
+        "--seed", type=int, default=0, help="seed for --generate (default 0)"
+    )
+    warm_cmd.add_argument(
+        "--wrap",
+        action="store_true",
+        help="for *.dtd inputs: add the synthetic document root",
+    )
+    warm_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="store directory (default: $REPRO_CACHE_DIR, else ~/.cache/repro)",
+    )
+    warm_cmd.add_argument(
+        "--backend",
+        choices=("nfa", "compiled"),
+        default=None,
+        help="automata backend to bake for "
+        "(default: REPRO_BACKEND env var, then 'compiled')",
+    )
+    warm_cmd.add_argument(
+        "--check",
+        action="store_true",
+        help="re-bake every artifact and fail (exit 1) unless the compile "
+        "pipeline is byte-deterministic",
+    )
 
     serve_cmd = add_command(
         "serve", cmd_serve, help="run the typed-query HTTP daemon"
@@ -584,6 +763,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument(
         "--verbose", action="store_true", help="log each HTTP request to stderr"
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent artifact store: registrations persist compiled "
+        "artifacts here and a restarted daemon restores them "
+        "(default: $REPRO_CACHE_DIR if set, else disabled)",
+    )
+    serve_cmd.add_argument(
+        "--backend",
+        choices=("nfa", "compiled"),
+        default=None,
+        help="automata backend for the artifact store "
+        "(default: REPRO_BACKEND env var, then 'compiled')",
     )
 
     return parser

@@ -9,7 +9,7 @@ the constructions behind those keys in a bounded, instrumented
 :func:`get_default_engine`.
 """
 
-from .artifact import ARTIFACT_VERSION, EngineArtifact, prewarm_schema
+from .artifact import ARTIFACT_VERSION, ArtifactError, EngineArtifact, prewarm_schema
 from .cache import CacheStats, EngineCache, KindStats
 from .core import (
     BACKENDS,
@@ -19,18 +19,31 @@ from .core import (
     resolve_backend,
     set_default_engine,
 )
+from .store import (
+    CACHE_DIR_ENV_VAR,
+    DEFAULT_MAX_BYTES,
+    ArtifactStore,
+    default_cache_dir,
+    version_tag,
+)
 
 __all__ = [
     "ARTIFACT_VERSION",
+    "ArtifactError",
+    "ArtifactStore",
     "BACKENDS",
     "BACKEND_ENV_VAR",
+    "CACHE_DIR_ENV_VAR",
     "CacheStats",
+    "DEFAULT_MAX_BYTES",
     "Engine",
     "EngineArtifact",
     "EngineCache",
     "KindStats",
+    "default_cache_dir",
     "get_default_engine",
     "prewarm_schema",
     "resolve_backend",
     "set_default_engine",
+    "version_tag",
 ]

@@ -32,6 +32,17 @@ from .core import Engine, resolve_backend
 #: shipped value type) changes incompatibly.
 ARTIFACT_VERSION = 1
 
+
+class ArtifactError(ValueError):
+    """A compiled-artifact payload that cannot be trusted.
+
+    Raised by :meth:`EngineArtifact.from_bytes` for truncated bytes, a
+    foreign pickle layout, or a version this process does not speak.  A
+    ``ValueError`` subclass, so the CLI maps it to exit 2 and the service
+    envelope layer to HTTP 400 without special-casing — a corrupt payload
+    is a bad input, never a daemon crash.
+    """
+
 #: Cache kinds whose values are process-independent pure data.
 SHIPPABLE_KINDS = frozenset(
     {
@@ -72,8 +83,20 @@ class EngineArtifact:
 
     @classmethod
     def capture(cls, engine: Engine, schema) -> "EngineArtifact":
-        """Snapshot the shippable entries currently in ``engine``'s cache."""
-        return cls(engine.backend, schema, engine.cache.snapshot(_shippable))
+        """Snapshot the shippable entries currently in ``engine``'s cache.
+
+        Entries are stored in a key-sorted order so that two captures of
+        the same compiled state pickle to identical bytes within one
+        process, regardless of the order the cache happened to fill in
+        (``repro warm --check`` relies on this to verify determinism).
+        """
+        entries = engine.cache.snapshot(_shippable)
+        ordered = {key: entries[key] for key in sorted(entries, key=repr)}
+        return cls(engine.backend, schema, ordered)
+
+    def fingerprint(self) -> str:
+        """The carried schema's fingerprint (the store's key for us)."""
+        return self.schema.fingerprint()
 
     def install(self, engine: Optional[Engine] = None) -> Engine:
         """Seed the artifact into ``engine`` (a fresh one by default)."""
@@ -95,14 +118,39 @@ class EngineArtifact:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "EngineArtifact":
-        payload = pickle.loads(data)
+        """Rebuild an artifact from bytes, refusing anything suspect.
+
+        Raises:
+            ArtifactError: on a truncated or otherwise unpicklable
+                payload, a payload of the wrong shape, or a version this
+                process does not speak.  Never lets a raw ``pickle`` /
+                ``KeyError`` escape: corrupt bytes are a *diagnosed*
+                rejection, not a stack trace.
+        """
+        try:
+            payload = pickle.loads(data)
+        except Exception as error:  # pickle raises a small zoo of types
+            raise ArtifactError(
+                f"engine artifact payload is corrupt or truncated "
+                f"({type(error).__name__}: {error})"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ArtifactError(
+                f"engine artifact payload has the wrong shape "
+                f"(expected a dict, got {type(payload).__name__})"
+            )
         version = payload.get("version")
         if version != ARTIFACT_VERSION:
-            raise ValueError(
+            raise ArtifactError(
                 f"engine artifact version mismatch: payload says {version!r}, "
                 f"this process speaks {ARTIFACT_VERSION}"
             )
-        return cls(payload["backend"], payload["schema"], payload["entries"])
+        try:
+            return cls(payload["backend"], payload["schema"], payload["entries"])
+        except KeyError as error:
+            raise ArtifactError(
+                f"engine artifact payload is missing field {error}"
+            ) from None
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -68,6 +68,7 @@ class Engine:
         cache: Optional[EngineCache] = None,
         max_entries: Optional[int] = 4096,
         backend: Optional[str] = None,
+        store=None,
     ):
         self.cache = cache if cache is not None else EngineCache(max_entries)
         #: Which automata implementation the decision procedures walk:
@@ -76,6 +77,10 @@ class Engine:
         #: testing).  Resolution order: explicit argument, then the
         #: ``REPRO_BACKEND`` environment variable, then ``"compiled"``.
         self.backend = resolve_backend(backend)
+        #: Optional :class:`repro.engine.store.ArtifactStore` backing this
+        #: engine's per-schema compiles (the durable tier behind the
+        #: in-memory cache; see :meth:`warm_from_store`).
+        self.store = store
 
     # ------------------------------------------------------------------
     # Generic regex compilation
@@ -251,6 +256,43 @@ class Engine:
         return self.cache.get_or_compute(
             key, lambda: NFARunner(build_nfa(schema, tid))
         )
+
+    # ------------------------------------------------------------------
+    # The durable tier (memory miss → store hit → install)
+    # ------------------------------------------------------------------
+
+    def warm_from_store(self, schema) -> bool:
+        """Load-through: seed this engine from the attached artifact store.
+
+        Returns True when the schema's compiled working set is resident
+        afterwards — either it already was (memory hit, the store is not
+        touched) or the store held a valid artifact and its entries were
+        installed.  False means a genuine cold compile is needed (and, if
+        a store is attached, that its miss counter was bumped).
+        """
+        fingerprint = schema.fingerprint()
+        if ("inhabited", fingerprint) in self.cache:
+            return True
+        if self.store is None:
+            return False
+        artifact = self.store.get(fingerprint)
+        if artifact is None:
+            return False
+        self.cache.seed(artifact.entries)
+        return True
+
+    def persist_to_store(self, schema, syntax: str = "scmdl"):
+        """Capture this engine's compiled state for ``schema`` into the store.
+
+        No-op (returns None) without an attached store; otherwise returns
+        the blob path.  Call after a cold compile so the next process —
+        daemon restart, pool worker, ``repro warm`` consumer — starts warm.
+        """
+        if self.store is None:
+            return None
+        from .artifact import EngineArtifact
+
+        return self.store.put(EngineArtifact.capture(self, schema), syntax=syntax)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,349 @@
+"""Persistent fingerprint-keyed store of compiled engine artifacts.
+
+The decision procedures are pure functions of the schema, so their
+compiled form (dense transition tables, inhabited sets, schema graphs —
+everything an :class:`~repro.engine.EngineArtifact` carries) is cacheable
+*forever*: across requests, across daemon restarts, across process-pool
+workers.  :class:`ArtifactStore` is that cache's durable tier.
+
+Layout
+------
+
+One artifact per registered schema, keyed by the schema fingerprint::
+
+    <cache-dir>/<version-tag>/<backend>/<fingerprint>.art    pickle payload
+    <cache-dir>/<version-tag>/<backend>/<fingerprint>.json   index sidecar
+
+The version tag folds together :data:`~repro.automata.compiled.PICKLE_VERSION`,
+:data:`~repro.engine.artifact.ARTIFACT_VERSION`, and the library version,
+so *invalidation is structural*: a process that speaks a different pickle
+layout simply looks in a different directory and never reads a stale
+blob.  Opening a store sweeps version directories it does not speak and
+counts them as invalidations.
+
+The JSON sidecar records the schema hash, backend, entry count, byte
+size, and creation time — enough for ``repro warm`` and ``/stats`` to
+describe the store without unpickling anything.
+
+Durability rules
+----------------
+
+* **Atomic writes.**  Payloads land via tmp-file + ``os.replace``, so a
+  concurrent reader never observes a half-written artifact and two
+  processes warming the same schema race benignly (last writer wins with
+  byte-identical content).
+* **Corruption is a miss, never a crash.**  A truncated, foreign, or
+  stale blob bumps the ``corrupt`` counter, is deleted, and reads as a
+  miss; the caller recompiles exactly as if the store were cold.
+* **Bounded size.**  ``max_bytes`` caps the payload bytes per
+  ``<version-tag>/<backend>`` directory; the least-recently-*used*
+  artifact (mtime order — hits refresh mtime) is evicted first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .. import __version__ as _library_version
+from ..automata.compiled import PICKLE_VERSION
+from .artifact import ARTIFACT_VERSION, ArtifactError, EngineArtifact
+from .core import resolve_backend
+
+#: Environment variable naming the cache directory (CLI/daemon default).
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Default size bound per <version>/<backend> directory (payload bytes).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV_VAR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def version_tag() -> str:
+    """The directory name under which this process's artifacts live."""
+    return f"pickle{PICKLE_VERSION}-art{ARTIFACT_VERSION}-lib{_library_version}"
+
+
+class ArtifactStore:
+    """A bounded, versioned, corruption-tolerant on-disk artifact cache.
+
+    Args:
+        root: cache directory (default: :func:`default_cache_dir`).
+        backend: automata backend whose artifacts this store holds
+            (resolved like :class:`~repro.engine.Engine`'s backend).
+        max_bytes: payload-byte bound for this store's directory; the
+            oldest-mtime artifact is evicted once a put would exceed it.
+        sweep_stale: remove version directories this process does not
+            speak at open time (counted as invalidations).
+
+    Thread-safe: one lock guards the counters and the eviction scan;
+    file-level atomicity (``os.replace``) covers cross-process races.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        backend: Optional[str] = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        sweep_stale: bool = True,
+    ):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.backend = resolve_backend(backend)
+        self.max_bytes = max_bytes
+        self.tag = version_tag()
+        self.dir = self.root / self.tag / self.backend
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._corrupt = 0
+        self._evictions = 0
+        self._invalidations = 0
+        if sweep_stale:
+            self._sweep_stale_versions()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.dir / f"{fingerprint}.art"
+
+    def _meta_path(self, fingerprint: str) -> Path:
+        return self.dir / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------
+    # Versioned invalidation
+    # ------------------------------------------------------------------
+
+    def _sweep_stale_versions(self) -> None:
+        """Delete version directories this process does not speak.
+
+        Every ``.art`` blob removed counts as one invalidation: it was a
+        valid artifact under some other pickle/library version, and no
+        process of *this* version could ever load it.
+        """
+        try:
+            children = list(self.root.iterdir())
+        except OSError:
+            return
+        for child in children:
+            if not child.is_dir() or child.name == self.tag:
+                continue
+            stale = len(list(child.glob("*/*.art")))
+            try:
+                shutil.rmtree(child)
+            except OSError:
+                continue
+            with self._lock:
+                self._invalidations += stale
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[EngineArtifact]:
+        """The stored artifact for ``fingerprint``, or None on a miss.
+
+        A hit refreshes the blob's mtime (the LRU recency signal).  Any
+        unreadable, undecodable, or mismatched blob is deleted, counted
+        under ``corrupt``, and reported as a miss — the store never
+        raises on bad disk state.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self._misses += 1
+            return None
+        try:
+            artifact = EngineArtifact.from_bytes(data)
+            if artifact.backend != self.backend:
+                raise ArtifactError(
+                    f"stored artifact speaks backend {artifact.backend!r}, "
+                    f"store expects {self.backend!r}"
+                )
+            if artifact.fingerprint() != fingerprint:
+                raise ArtifactError(
+                    f"stored artifact fingerprint {artifact.fingerprint()!r} "
+                    f"does not match its key {fingerprint!r}"
+                )
+        except ArtifactError:
+            self._discard(fingerprint)
+            with self._lock:
+                self._corrupt += 1
+                self._misses += 1
+            return None
+        now = time.time()
+        try:
+            os.utime(path, (now, now))
+        except OSError:
+            pass  # recency refresh is best-effort
+        with self._lock:
+            self._hits += 1
+        return artifact
+
+    def contains(self, fingerprint: str) -> bool:
+        """Whether a blob exists under this key (no validity check)."""
+        return self.path_for(fingerprint).exists()
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.contains(fingerprint)
+
+    def fingerprints(self) -> List[str]:
+        """Stored keys, least-recently-used first (mtime order)."""
+        blobs = []
+        for path in self.dir.glob("*.art"):
+            try:
+                blobs.append((path.stat().st_mtime, path.stem))
+            except OSError:
+                continue  # racing eviction/put
+        return [stem for _, stem in sorted(blobs)]
+
+    def __len__(self) -> int:
+        return len(list(self.dir.glob("*.art")))
+
+    def meta(self, fingerprint: str) -> Dict[str, object]:
+        """The JSON index sidecar for ``fingerprint`` ({} if unreadable)."""
+        try:
+            payload = json.loads(self._meta_path(fingerprint).read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        artifact: EngineArtifact,
+        syntax: str = "scmdl",
+        data: Optional[bytes] = None,
+    ) -> Path:
+        """Persist ``artifact`` atomically; returns the blob path.
+
+        ``data`` lets a caller that already serialized the artifact (for
+        a determinism check, say) avoid pickling twice.  The write goes
+        tmp-file + ``os.replace`` so readers and racing writers only ever
+        observe complete payloads; the sidecar is written after the blob
+        (it is advisory — a missing sidecar never blocks a load).
+        """
+        if artifact.backend != self.backend:
+            raise ValueError(
+                f"artifact speaks backend {artifact.backend!r}, "
+                f"store holds {self.backend!r}"
+            )
+        fingerprint = artifact.fingerprint()
+        payload = data if data is not None else artifact.to_bytes()
+        path = self.path_for(fingerprint)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+        index = {
+            "fingerprint": fingerprint,
+            "backend": self.backend,
+            "syntax": syntax,
+            "schema_root": artifact.schema.root,
+            "entries": len(artifact),
+            "bytes": len(payload),
+            "created_at": time.time(),
+            "pickle_version": PICKLE_VERSION,
+            "artifact_version": ARTIFACT_VERSION,
+            "library_version": _library_version,
+        }
+        meta_tmp = self._meta_path(fingerprint).with_suffix(f".jtmp-{os.getpid()}")
+        meta_tmp.write_text(json.dumps(index, indent=2) + "\n")
+        os.replace(meta_tmp, self._meta_path(fingerprint))
+        with self._lock:
+            self._puts += 1
+        self._enforce_bound()
+        return path
+
+    def _discard(self, fingerprint: str) -> None:
+        for path in (self.path_for(fingerprint), self._meta_path(fingerprint)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _enforce_bound(self) -> None:
+        """Evict oldest-mtime artifacts until payload bytes fit the bound."""
+        blobs = []
+        total = 0
+        for path in self.dir.glob("*.art"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            blobs.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        blobs.sort()
+        for _, size, path in blobs:
+            if total <= self.max_bytes:
+                break
+            self._discard(path.stem)
+            total -= size
+            with self._lock:
+                self._evictions += 1
+
+    def clear(self) -> int:
+        """Drop every artifact in this store's directory; returns the count."""
+        dropped = 0
+        for path in list(self.dir.glob("*.art")):
+            self._discard(path.stem)
+            dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Counters plus the current on-disk footprint."""
+        total = 0
+        count = 0
+        for path in self.dir.glob("*.art"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        with self._lock:
+            return {
+                "dir": str(self.dir),
+                "backend": self.backend,
+                "version_tag": self.tag,
+                "artifacts": count,
+                "bytes": total,
+                "max_bytes": self.max_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "puts": self._puts,
+                "corrupt": self._corrupt,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactStore(dir={str(self.dir)!r}, backend={self.backend!r}, "
+            f"artifacts={len(self)})"
+        )

@@ -100,17 +100,28 @@ def prewarm(schema: Schema, engine: Engine) -> int:
 
 
 class SchemaRegistry:
-    """A bounded LRU map from schema fingerprints to compiled schemas."""
+    """A bounded LRU map from schema fingerprints to compiled schemas.
+
+    With a ``store`` (an :class:`~repro.engine.ArtifactStore`), the
+    registry gains a durable tier: every registration persists its
+    compiled artifact, and construction *restores* the store's resident
+    artifacts — so a daemon restart comes back with every previously
+    registered schema already compiled and serves warm-level latency on
+    the first request wave (see ``benchmarks/bench_cold_start.py``).
+    """
 
     def __init__(
         self,
         max_schemas: int = 64,
         engine_max_entries: Optional[int] = 4096,
+        store=None,
+        restore: bool = True,
     ):
         if max_schemas <= 0:
             raise ValueError("max_schemas must be positive")
         self.max_schemas = max_schemas
         self.engine_max_entries = engine_max_entries
+        self.store = store
         self._entries: "OrderedDict[str, RegisteredSchema]" = OrderedDict()
         self._lock = threading.Lock()
         self._registered = 0
@@ -119,6 +130,42 @@ class SchemaRegistry:
         self._evicted = 0
         self._lookups = 0
         self._lookup_misses = 0
+        self._restored = 0
+        if store is not None and restore:
+            self._restore_from_store()
+
+    def _restore_from_store(self) -> None:
+        """Re-install every valid stored artifact as a registered schema.
+
+        Runs at construction (before the server accepts requests), so no
+        locking subtleties: most-recently-used artifacts are installed
+        last and therefore survive if the store holds more schemas than
+        ``max_schemas``.  A corrupt blob is the store's problem (counted
+        there, read as a miss) and simply is not restored.
+        """
+        fingerprints = self.store.fingerprints()  # LRU order, oldest first
+        if len(fingerprints) > self.max_schemas:
+            fingerprints = fingerprints[-self.max_schemas :]
+        for fingerprint in fingerprints:
+            artifact = self.store.get(fingerprint)
+            if artifact is None:
+                continue
+            engine = Engine(
+                max_entries=self.engine_max_entries,
+                backend=artifact.backend,
+                store=self.store,
+            )
+            engine.cache.seed(artifact.entries)
+            syntax = self.store.meta(fingerprint).get("syntax", "scmdl")
+            self._entries[fingerprint] = RegisteredSchema(
+                fingerprint=fingerprint,
+                schema=artifact.schema,
+                engine=engine,
+                syntax=syntax if isinstance(syntax, str) else "scmdl",
+                registered_at=time.time(),
+                info={"warmed_entries": len(engine.cache), "restored": True},
+            )
+            self._restored += 1
 
     # ------------------------------------------------------------------
     # Registration
@@ -153,15 +200,23 @@ class SchemaRegistry:
 
         # Compile outside the lock: registrations of distinct schemas
         # must not serialize on each other's automata construction.
-        engine = Engine(max_entries=self.engine_max_entries)
-        warmed = prewarm(schema, engine)
+        engine = Engine(max_entries=self.engine_max_entries, store=self.store)
+        info: Dict[str, object] = {}
+        if engine.warm_from_store(schema):
+            # Durable tier hit: the compiled working set was installed
+            # from disk; nothing to rebuild, nothing to persist.
+            info["store_hit"] = True
+        else:
+            prewarm(schema, engine)
+            engine.persist_to_store(schema, syntax=syntax)
+        info["warmed_entries"] = len(engine.cache)
         entry = RegisteredSchema(
             fingerprint=fingerprint,
             schema=schema,
             engine=engine,
             syntax=syntax,
             registered_at=time.time(),
-            info={"warmed_entries": warmed},
+            info=info,
         )
 
         with self._lock:
@@ -245,7 +300,10 @@ class SchemaRegistry:
                 "evicted": self._evicted,
                 "lookups": self._lookups,
                 "lookup_misses": self._lookup_misses,
+                "restored": self._restored,
             }
+        if self.store is not None:
+            counters["store"] = self.store.stats()
         engines = {}
         for entry in entries:
             stats = entry.engine.stats()

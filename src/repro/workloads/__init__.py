@@ -21,6 +21,7 @@ from .schemas import (
     join_schema,
     document_schema,
     random_dtd,
+    schema_corpus,
     union_chain_schema,
     unordered_schema,
     wide_document_schema,
@@ -62,6 +63,7 @@ __all__ = [
     "random_query",
     "random_regex",
     "random_schema",
+    "schema_corpus",
     "star_fanout_query",
     "union_chain_schema",
     "unordered_schema",

@@ -251,3 +251,42 @@ def random_dtd(
         types.append(TypeDef(f"T{index}", TypeKind.ORDERED, regex=concat(*factors)))
     # Unreferenced non-root types may remain; that is fine for benchmarks.
     return Schema(types)
+
+
+def schema_corpus(count: int, seed: int = 0) -> List[Schema]:
+    """A deterministic corpus of ``count`` distinct ordered schemas.
+
+    The standing input of ``repro warm`` and the cold-start benchmark: a
+    mix of the ordered families above (chain, document, union-chain,
+    wide-document, random DTD) with sizes spread by ``seed``, every
+    schema satisfying the generic wildcard query
+    ``SELECT X WHERE Root = [_ -> X]``.  Equal ``(count, seed)`` pairs
+    produce fingerprint-identical corpora, which is what makes warming
+    idempotent across processes.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = random.Random(seed)
+    schemas: List[Schema] = []
+    seen = set()
+    index = 0
+    while len(schemas) < count:
+        family = index % 5
+        size = 2 + index // 5 + rng.randint(0, 2)
+        if family == 0:
+            schema = chain_schema(size + 1)
+        elif family == 1:
+            schema = document_schema(size)
+        elif family == 2:
+            schema = union_chain_schema(size, width=2)
+        elif family == 3:
+            schema = wide_document_schema(size + 1)
+        else:
+            schema = random_dtd(size + 3, rng=random.Random(seed * 1000 + index))
+        index += 1
+        fingerprint = schema.fingerprint()
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        schemas.append(schema)
+    return schemas

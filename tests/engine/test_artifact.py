@@ -13,6 +13,7 @@ import pytest
 
 from repro.engine import (
     ARTIFACT_VERSION,
+    ArtifactError,
     Engine,
     EngineArtifact,
     prewarm_schema,
@@ -60,6 +61,60 @@ class TestRoundTrip:
         payload["version"] = ARTIFACT_VERSION + 1
         with pytest.raises(ValueError, match="version mismatch"):
             EngineArtifact.from_bytes(pickle.dumps(payload))
+
+    def test_capture_order_is_canonical(self):
+        # Two captures of independently compiled engines list their
+        # entries identically, which is what makes re-baked artifacts
+        # byte-deterministic (`repro warm --check`).
+        _e1, first = _captured()
+        _e2, second = _captured()
+        assert list(first.entries) == list(second.entries)
+        assert first.to_bytes() == second.to_bytes()
+
+
+class TestCorruptPayloads:
+    """`from_bytes` on bad bytes raises the *typed* ArtifactError.
+
+    Regression: a truncated or version-mismatched payload used to escape
+    as a raw `pickle` error / `KeyError`, which the service rendered as
+    an opaque 500 instead of a 400 and the CLI as a stack trace.
+    """
+
+    def test_version_mismatch_is_an_artifact_error(self):
+        _engine, artifact = _captured()
+        payload = pickle.loads(artifact.to_bytes())
+        payload["version"] = ARTIFACT_VERSION + 1
+        with pytest.raises(ArtifactError, match="version mismatch"):
+            EngineArtifact.from_bytes(pickle.dumps(payload))
+
+    def test_truncated_payload_is_an_artifact_error(self):
+        _engine, artifact = _captured()
+        data = artifact.to_bytes()
+        for cut in (0, 1, 17, len(data) // 2, len(data) - 1):
+            with pytest.raises(ArtifactError, match="corrupt or truncated"):
+                EngineArtifact.from_bytes(data[:cut])
+
+    def test_garbage_bytes_are_an_artifact_error(self):
+        with pytest.raises(ArtifactError):
+            EngineArtifact.from_bytes(b"\x00\x01 definitely not a pickle")
+
+    def test_wrong_shape_payload_is_an_artifact_error(self):
+        with pytest.raises(ArtifactError, match="wrong shape"):
+            EngineArtifact.from_bytes(pickle.dumps(["not", "a", "dict"]))
+        with pytest.raises(ArtifactError, match="missing field"):
+            EngineArtifact.from_bytes(
+                pickle.dumps({"version": ARTIFACT_VERSION, "backend": "compiled"})
+            )
+
+    def test_artifact_error_maps_to_exit_2_and_http_400(self):
+        # ArtifactError is a ValueError: the CLI's uniform error path
+        # exits 2 on it and the service envelope maps it to HTTP 400.
+        from repro.service.envelope import as_service_error
+
+        assert issubclass(ArtifactError, ValueError)
+        mapped = as_service_error(ArtifactError("payload is corrupt"))
+        assert mapped.status == 400
+        assert mapped.code == "parse-error"
 
     def test_regex_identity_survives_the_trip(self):
         # Hash-consed regexes re-intern on unpickle, so the shipped

@@ -1,0 +1,234 @@
+"""The persistent artifact store: durability without lies.
+
+What these tests pin down: a stored artifact is byte-deterministic and
+round-trips losslessly; corruption of any stripe reads as a counted miss,
+never a crash; the size bound evicts in least-recently-*used* order; a
+version bump structurally invalidates old blobs; and two processes
+sharing one cache directory cannot corrupt each other.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.engine.store as store_module
+from repro.engine import (
+    ArtifactStore,
+    Engine,
+    EngineArtifact,
+    prewarm_schema,
+    version_tag,
+)
+from repro.workloads import chain_schema, document_schema
+
+SCHEMA = document_schema(3)
+
+
+def baked_artifact(schema=SCHEMA, backend="compiled"):
+    engine = Engine(backend=backend)
+    prewarm_schema(engine, schema)
+    return EngineArtifact.capture(engine, schema)
+
+
+class TestRoundTrip:
+    def test_put_get_round_trips_entries(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        artifact = baked_artifact()
+        store.put(artifact)
+        loaded = store.get(artifact.fingerprint())
+        assert loaded is not None
+        assert set(loaded.entries) == set(artifact.entries)
+        assert loaded.schema.fingerprint() == SCHEMA.fingerprint()
+        assert store.stats()["hits"] == 1
+
+    def test_same_schema_bakes_byte_identical_artifacts(self, tmp_path):
+        # The determinism `repro warm --check` gates on: the entire
+        # compile pipeline re-run from scratch must pickle identically.
+        assert baked_artifact().to_bytes() == baked_artifact().to_bytes()
+
+    def test_get_on_empty_store_is_a_counted_miss(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        assert store.get(SCHEMA.fingerprint()) is None
+        stats = store.stats()
+        assert stats["misses"] == 1 and stats["corrupt"] == 0
+
+    def test_sidecar_index_describes_the_blob(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        artifact = baked_artifact()
+        path = store.put(artifact, syntax="scmdl")
+        meta = store.meta(artifact.fingerprint())
+        assert meta["fingerprint"] == artifact.fingerprint()
+        assert meta["backend"] == "compiled"
+        assert meta["entries"] == len(artifact)
+        assert meta["bytes"] == path.stat().st_size
+        assert meta["syntax"] == "scmdl"
+
+    def test_layout_is_version_and_backend_keyed(self, tmp_path):
+        store = ArtifactStore(root=tmp_path, backend="compiled")
+        artifact = baked_artifact()
+        path = store.put(artifact)
+        assert path == (
+            tmp_path / version_tag() / "compiled" / f"{artifact.fingerprint()}.art"
+        )
+
+
+class TestCorruptionTolerance:
+    def test_truncated_blob_is_a_miss_plus_counter_bump(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        artifact = baked_artifact()
+        path = store.put(artifact)
+        path.write_bytes(path.read_bytes()[:32])
+        assert store.get(artifact.fingerprint()) is None
+        stats = store.stats()
+        assert stats["corrupt"] == 1 and stats["misses"] == 1
+        # The bad blob was removed: the next get is a clean miss.
+        assert not path.exists()
+        assert store.get(artifact.fingerprint()) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_garbage_blob_is_tolerated(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        artifact = baked_artifact()
+        path = store.put(artifact)
+        path.write_bytes(b"not a pickle at all")
+        assert store.get(artifact.fingerprint()) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_blob_filed_under_the_wrong_fingerprint_is_rejected(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        artifact = baked_artifact()
+        data = artifact.to_bytes()
+        wrong_key = "0" * 40
+        (store.dir / f"{wrong_key}.art").write_bytes(data)
+        assert store.get(wrong_key) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_unreadable_sidecar_never_blocks_a_load(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        artifact = baked_artifact()
+        store.put(artifact)
+        (store.dir / f"{artifact.fingerprint()}.json").write_text("{trunc")
+        assert store.meta(artifact.fingerprint()) == {}
+        assert store.get(artifact.fingerprint()) is not None
+
+
+class TestEviction:
+    def _three_artifacts(self):
+        return [baked_artifact(chain_schema(depth)) for depth in (2, 3, 4)]
+
+    def test_oldest_mtime_is_evicted_first(self, tmp_path):
+        a, b, c = self._three_artifacts()
+        sizes = [len(x.to_bytes()) for x in (a, b, c)]
+        store = ArtifactStore(root=tmp_path, max_bytes=max(sizes) * 2 + 1)
+        pa, pb = store.put(a), store.put(b)
+        os.utime(pa, (100, 100))
+        os.utime(pb, (200, 200))
+        store.put(c)
+        assert not store.contains(a.fingerprint())
+        assert store.contains(b.fingerprint())
+        assert store.contains(c.fingerprint())
+        assert store.stats()["evictions"] == 1
+
+    def test_a_hit_refreshes_recency(self, tmp_path):
+        a, b, c = self._three_artifacts()
+        sizes = [len(x.to_bytes()) for x in (a, b, c)]
+        store = ArtifactStore(root=tmp_path, max_bytes=max(sizes) * 2 + 1)
+        pa, pb = store.put(a), store.put(b)
+        os.utime(pa, (100, 100))
+        os.utime(pb, (200, 200))
+        assert store.get(a.fingerprint()) is not None  # a is now the MRU
+        store.put(c)
+        assert store.contains(a.fingerprint())
+        assert not store.contains(b.fingerprint())
+
+    def test_fingerprints_list_in_lru_order(self, tmp_path):
+        a, b = self._three_artifacts()[:2]
+        store = ArtifactStore(root=tmp_path)
+        pa, pb = store.put(a), store.put(b)
+        os.utime(pa, (200, 200))
+        os.utime(pb, (100, 100))
+        assert store.fingerprints() == [b.fingerprint(), a.fingerprint()]
+
+
+class TestVersionedInvalidation:
+    def test_pickle_version_bump_invalidates_the_old_directory(
+        self, tmp_path, monkeypatch
+    ):
+        old_store = ArtifactStore(root=tmp_path)
+        old_store.put(baked_artifact())
+        old_dir = old_store.dir.parent
+        monkeypatch.setattr(store_module, "PICKLE_VERSION", 999)
+        new_store = ArtifactStore(root=tmp_path)
+        assert new_store.stats()["invalidations"] == 1
+        assert not old_dir.exists()
+        assert new_store.get(SCHEMA.fingerprint()) is None
+
+    def test_same_version_reopen_invalidates_nothing(self, tmp_path):
+        ArtifactStore(root=tmp_path).put(baked_artifact())
+        reopened = ArtifactStore(root=tmp_path)
+        assert reopened.stats()["invalidations"] == 0
+        assert reopened.get(SCHEMA.fingerprint()) is not None
+
+    def test_backends_do_not_share_blobs(self, tmp_path):
+        compiled = ArtifactStore(root=tmp_path, backend="compiled")
+        compiled.put(baked_artifact())
+        nfa = ArtifactStore(root=tmp_path, backend="nfa", sweep_stale=False)
+        assert nfa.get(SCHEMA.fingerprint()) is None
+
+    def test_put_refuses_a_foreign_backend(self, tmp_path):
+        store = ArtifactStore(root=tmp_path, backend="nfa")
+        with pytest.raises(ValueError, match="backend"):
+            store.put(baked_artifact(backend="compiled"))
+
+
+class TestEngineLoadThrough:
+    def test_memory_miss_store_hit_install(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        store.put(baked_artifact())
+        engine = Engine(store=ArtifactStore(root=tmp_path))
+        assert engine.warm_from_store(SCHEMA)
+        tid = next(t.tid for t in SCHEMA if not t.is_atomic)
+        engine.compiled_content(SCHEMA, tid)
+        kind = engine.stats().by_kind["compiled-content"]
+        assert kind.hits > 0 and kind.misses == 0
+
+    def test_memory_hit_short_circuits_the_store(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        engine = Engine(store=store)
+        prewarm_schema(engine, SCHEMA)
+        assert engine.warm_from_store(SCHEMA)  # already resident
+        assert store.stats()["hits"] == 0 and store.stats()["misses"] == 0
+
+    def test_cold_engine_without_store_reports_cold(self):
+        assert not Engine().warm_from_store(SCHEMA)
+
+    def test_persist_then_warm_round_trip(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        parent = Engine(store=store)
+        prewarm_schema(parent, SCHEMA)
+        assert parent.persist_to_store(SCHEMA) is not None
+        child = Engine(store=ArtifactStore(root=tmp_path))
+        assert child.warm_from_store(SCHEMA)
+
+
+class TestConcurrentWarmVsRead:
+    def test_two_processes_one_cache_dir(self, tmp_path):
+        """Two `repro warm` processes race into one directory; every blob
+        they leave behind must load cleanly (atomic tmp+rename writes)."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        env["REPRO_CACHE_DIR"] = str(tmp_path)
+        command = [sys.executable, "-m", "repro", "warm", "--generate", "3", "--json"]
+        first = subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
+        second = subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
+        assert first.wait(timeout=120) == 0
+        assert second.wait(timeout=120) == 0
+        store = ArtifactStore(root=tmp_path)
+        fingerprints = store.fingerprints()
+        assert len(fingerprints) == 3
+        for fingerprint in fingerprints:
+            assert store.get(fingerprint) is not None
+        assert store.stats()["corrupt"] == 0
