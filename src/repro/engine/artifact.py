@@ -145,12 +145,30 @@ class EngineArtifact:
                 f"engine artifact version mismatch: payload says {version!r}, "
                 f"this process speaks {ARTIFACT_VERSION}"
             )
+        from ..schema.model import Schema  # lazy: schema imports automata
+
         try:
-            return cls(payload["backend"], payload["schema"], payload["entries"])
+            backend = payload["backend"]
+            schema = payload["schema"]
+            entries = payload["entries"]
         except KeyError as error:
             raise ArtifactError(
                 f"engine artifact payload is missing field {error}"
             ) from None
+        if not isinstance(schema, Schema):
+            raise ArtifactError(
+                f"engine artifact schema field holds "
+                f"{type(schema).__name__}, not a Schema"
+            )
+        if not isinstance(entries, dict):
+            raise ArtifactError(
+                f"engine artifact entries field holds "
+                f"{type(entries).__name__}, not a dict"
+            )
+        try:
+            return cls(backend, schema, entries)
+        except Exception as error:  # resolve_backend: unknown backend
+            raise ArtifactError(str(error)) from None
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -18,8 +18,12 @@ The version tag folds together :data:`~repro.automata.compiled.PICKLE_VERSION`,
 :data:`~repro.engine.artifact.ARTIFACT_VERSION`, and the library version,
 so *invalidation is structural*: a process that speaks a different pickle
 layout simply looks in a different directory and never reads a stale
-blob.  Opening a store sweeps version directories it does not speak and
-counts them as invalidations.
+blob.  Opening a store reaps superseded version directories — only
+names matching the tag scheme, only versions strictly older than this
+process, and only when unused for :data:`SWEEP_GRACE_SECONDS` — and
+counts their blobs as invalidations.  Anything else under the cache
+root (say, the rest of ``~/.cache`` if the user points the store at a
+shared directory) is never touched.
 
 The JSON sidecar records the schema hash, backend, entry count, byte
 size, and creation time — enough for ``repro warm`` and ``/stats`` to
@@ -44,11 +48,12 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import shutil
 import threading
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .. import __version__ as _library_version
 from ..automata.compiled import PICKLE_VERSION
@@ -60,6 +65,35 @@ CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 
 #: Default size bound per <version>/<backend> directory (payload bytes).
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Version directories used within this window are never swept, so an
+#: older-version process sharing the cache root keeps its artifacts.
+SWEEP_GRACE_SECONDS = 24 * 60 * 60
+
+#: The only directory names the sweeper will ever touch.  Anything else
+#: under the cache root — a user's unrelated data if they point
+#: ``$REPRO_CACHE_DIR`` at a shared directory like ``~/.cache`` — is not
+#: ours and must never be deleted.
+_TAG_RE = re.compile(r"^pickle(\d+)-art(\d+)-lib(.+)$")
+
+
+def _tag_sort_key(name: str) -> Optional[Tuple]:
+    """A comparable version key for a tag-shaped directory name.
+
+    Returns None for names that don't follow the version-tag scheme.
+    Library version parts compare numerically where they are numeric
+    (``lib1.10.0`` > ``lib1.9.0``) and lexically otherwise, with every
+    non-numeric part ordering after every numeric one so mixed tags
+    still compare deterministically.
+    """
+    match = _TAG_RE.match(name)
+    if match is None:
+        return None
+    lib = tuple(
+        (0, int(part), "") if part.isdigit() else (1, 0, part)
+        for part in match.group(3).split(".")
+    )
+    return (int(match.group(1)), int(match.group(2)), lib)
 
 
 def default_cache_dir() -> Path:
@@ -86,8 +120,9 @@ class ArtifactStore:
             (resolved like :class:`~repro.engine.Engine`'s backend).
         max_bytes: payload-byte bound for this store's directory; the
             oldest-mtime artifact is evicted once a put would exceed it.
-        sweep_stale: remove version directories this process does not
-            speak at open time (counted as invalidations).
+        sweep_stale: reap superseded version directories at open time
+            (tag-named, strictly older, unused past the grace window;
+            counted as invalidations).
 
     Thread-safe: one lock guards the counters and the eviction scan;
     file-level atomicity (``os.replace``) covers cross-process races.
@@ -133,20 +168,48 @@ class ArtifactStore:
     # ------------------------------------------------------------------
 
     def _sweep_stale_versions(self) -> None:
-        """Delete version directories this process does not speak.
+        """Reap version directories superseded by this process's version.
 
         Every ``.art`` blob removed counts as one invalidation: it was a
         valid artifact under some other pickle/library version, and no
         process of *this* version could ever load it.
+
+        Three guards keep the sweep from destroying anything that is not
+        provably ours and dead:
+
+        * only directories *named* like a version tag are candidates —
+          a cache root pointed at a shared directory (``~/.cache``) has
+          its unrelated subdirectories left strictly alone;
+        * only tags strictly *older* than this process's version are
+          reaped, so a newer deployment warming the same root is never
+          clobbered by an old daemon;
+        * a directory used within :data:`SWEEP_GRACE_SECONDS` is kept —
+          a still-running older-version process sharing the root keeps
+          its artifacts instead of losing them on every open here.
         """
+        current = _tag_sort_key(self.tag)
+        cutoff = time.time() - SWEEP_GRACE_SECONDS
         try:
             children = list(self.root.iterdir())
         except OSError:
             return
         for child in children:
-            if not child.is_dir() or child.name == self.tag:
+            if child.name == self.tag or not child.is_dir():
                 continue
-            stale = len(list(child.glob("*/*.art")))
+            key = _tag_sort_key(child.name)
+            if key is None or current is None or not key < current:
+                continue  # not a version dir of ours, or not superseded
+            blobs = list(child.glob("*/*.art"))
+            try:
+                newest = max(
+                    [child.stat().st_mtime]
+                    + [blob.stat().st_mtime for blob in blobs]
+                )
+            except OSError:
+                continue  # racing its owner; leave it for next time
+            if newest > cutoff:
+                continue  # recently used — an older version is still live
+            stale = len(blobs)
             try:
                 shutil.rmtree(child)
             except OSError:
@@ -185,7 +248,12 @@ class ArtifactStore:
                     f"stored artifact fingerprint {artifact.fingerprint()!r} "
                     f"does not match its key {fingerprint!r}"
                 )
-        except ArtifactError:
+        except Exception:
+            # ArtifactError covers the diagnosed corruptions, but a blob
+            # that unpickles into the right *shape* with wrong field
+            # types (a non-Schema ``schema``, say) surfaces as whatever
+            # the validation above tripped over — still a miss, never a
+            # crash, per the store's contract.
             self._discard(fingerprint)
             with self._lock:
                 self._corrupt += 1
@@ -274,7 +342,7 @@ class ArtifactStore:
         os.replace(meta_tmp, self._meta_path(fingerprint))
         with self._lock:
             self._puts += 1
-        self._enforce_bound()
+        self._enforce_bound(keep=fingerprint)
         return path
 
     def _discard(self, fingerprint: str) -> None:
@@ -284,8 +352,15 @@ class ArtifactStore:
             except OSError:
                 pass
 
-    def _enforce_bound(self) -> None:
-        """Evict oldest-mtime artifacts until payload bytes fit the bound."""
+    def _enforce_bound(self, keep: Optional[str] = None) -> None:
+        """Evict oldest-mtime artifacts until payload bytes fit the bound.
+
+        ``keep`` names a fingerprint that is never evicted — the blob a
+        ``put()`` just wrote, so the Path it returns stays valid even
+        when that single payload exceeds ``max_bytes`` on its own (the
+        bound is then overshot by one artifact rather than lied about
+        with a dangling path).
+        """
         blobs = []
         total = 0
         for path in self.dir.glob("*.art"):
@@ -299,6 +374,8 @@ class ArtifactStore:
         for _, size, path in blobs:
             if total <= self.max_bytes:
                 break
+            if path.stem == keep:
+                continue
             self._discard(path.stem)
             total -= size
             with self._lock:

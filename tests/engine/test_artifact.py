@@ -106,6 +106,32 @@ class TestCorruptPayloads:
                 pickle.dumps({"version": ARTIFACT_VERSION, "backend": "compiled"})
             )
 
+    def test_wrong_typed_fields_are_an_artifact_error(self):
+        # Regression: a well-formed dict whose fields hold the wrong
+        # *types* used to construct fine and blow up later (e.g.
+        # fingerprint() raising AttributeError inside the store's
+        # validated-read path).  from_bytes refuses it up front.
+        with pytest.raises(ArtifactError, match="not a Schema"):
+            EngineArtifact.from_bytes(
+                pickle.dumps(
+                    {
+                        "version": ARTIFACT_VERSION,
+                        "backend": "compiled",
+                        "schema": "not a schema",
+                        "entries": {},
+                    }
+                )
+            )
+        _engine, artifact = _captured()
+        payload = pickle.loads(artifact.to_bytes())
+        payload["entries"] = ["not", "a", "dict"]
+        with pytest.raises(ArtifactError, match="not a dict"):
+            EngineArtifact.from_bytes(pickle.dumps(payload))
+        payload = pickle.loads(artifact.to_bytes())
+        payload["backend"] = "warp-drive"
+        with pytest.raises(ArtifactError, match="backend"):
+            EngineArtifact.from_bytes(pickle.dumps(payload))
+
     def test_artifact_error_maps_to_exit_2_and_http_400(self):
         # ArtifactError is a ValueError: the CLI's uniform error path
         # exits 2 on it and the service envelope maps it to HTTP 400.

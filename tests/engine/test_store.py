@@ -8,6 +8,7 @@ sharing one cache directory cannot corrupt each other.
 """
 
 import os
+import pickle
 import subprocess
 import sys
 from pathlib import Path
@@ -16,6 +17,7 @@ import pytest
 
 import repro.engine.store as store_module
 from repro.engine import (
+    ARTIFACT_VERSION,
     ArtifactStore,
     Engine,
     EngineArtifact,
@@ -106,6 +108,27 @@ class TestCorruptionTolerance:
         assert store.get(wrong_key) is None
         assert store.stats()["corrupt"] == 1
 
+    def test_well_shaped_blob_with_wrong_typed_fields_is_tolerated(self, tmp_path):
+        # Regression: a dict payload whose "schema" field is not a Schema
+        # used to escape the ArtifactError catch (fingerprint() raised
+        # AttributeError) and crash the read path.  Any malformed blob is
+        # a counted miss.
+        store = ArtifactStore(root=tmp_path)
+        fingerprint = SCHEMA.fingerprint()
+        payload = pickle.dumps(
+            {
+                "version": ARTIFACT_VERSION,
+                "backend": "compiled",
+                "schema": "not a schema",
+                "entries": {},
+            }
+        )
+        path = store.path_for(fingerprint)
+        path.write_bytes(payload)
+        assert store.get(fingerprint) is None
+        assert store.stats()["corrupt"] == 1
+        assert not path.exists()
+
     def test_unreadable_sidecar_never_blocks_a_load(self, tmp_path):
         store = ArtifactStore(root=tmp_path)
         artifact = baked_artifact()
@@ -144,6 +167,23 @@ class TestEviction:
         assert store.contains(a.fingerprint())
         assert not store.contains(b.fingerprint())
 
+    def test_put_never_evicts_the_blob_it_just_wrote(self, tmp_path):
+        # Regression: an artifact bigger than max_bytes used to be
+        # evicted by its own put(), which then returned a Path to a file
+        # that no longer existed — callers holding the store silently
+        # recompiled forever.  The just-written key is exempt; the bound
+        # is overshot by one artifact instead.
+        a, b = self._three_artifacts()[:2]
+        store = ArtifactStore(root=tmp_path, max_bytes=1)
+        path_a = store.put(a)
+        assert path_a.exists()
+        assert store.contains(a.fingerprint())
+        path_b = store.put(b)  # evicts a, keeps itself
+        assert path_b.exists()
+        assert store.contains(b.fingerprint())
+        assert not store.contains(a.fingerprint())
+        assert store.stats()["evictions"] == 1
+
     def test_fingerprints_list_in_lru_order(self, tmp_path):
         a, b = self._three_artifacts()[:2]
         store = ArtifactStore(root=tmp_path)
@@ -153,6 +193,13 @@ class TestEviction:
         assert store.fingerprints() == [b.fingerprint(), a.fingerprint()]
 
 
+def _age(path, timestamp=1000.0):
+    """Push ``path`` and everything under it past the sweep grace window."""
+    for child in path.rglob("*"):
+        os.utime(child, (timestamp, timestamp))
+    os.utime(path, (timestamp, timestamp))
+
+
 class TestVersionedInvalidation:
     def test_pickle_version_bump_invalidates_the_old_directory(
         self, tmp_path, monkeypatch
@@ -160,11 +207,51 @@ class TestVersionedInvalidation:
         old_store = ArtifactStore(root=tmp_path)
         old_store.put(baked_artifact())
         old_dir = old_store.dir.parent
+        _age(old_dir)  # past the grace window: nothing still uses it
         monkeypatch.setattr(store_module, "PICKLE_VERSION", 999)
         new_store = ArtifactStore(root=tmp_path)
         assert new_store.stats()["invalidations"] == 1
         assert not old_dir.exists()
         assert new_store.get(SCHEMA.fingerprint()) is None
+
+    def test_recently_used_old_version_directory_survives(
+        self, tmp_path, monkeypatch
+    ):
+        # A still-live older-version process sharing the cache root must
+        # keep its artifacts: only dirs idle past the grace window go.
+        old_store = ArtifactStore(root=tmp_path)
+        old_store.put(baked_artifact())
+        old_dir = old_store.dir.parent
+        monkeypatch.setattr(store_module, "PICKLE_VERSION", 999)
+        new_store = ArtifactStore(root=tmp_path)
+        assert old_dir.exists()
+        assert new_store.stats()["invalidations"] == 0
+
+    def test_newer_version_directory_is_never_swept(self, tmp_path, monkeypatch):
+        # An old daemon must not clobber a newer deployment's artifacts,
+        # no matter how idle they look.
+        with monkeypatch.context() as patch:
+            patch.setattr(store_module, "PICKLE_VERSION", 999)
+            newer = ArtifactStore(root=tmp_path)
+            newer.put(baked_artifact())
+            newer_dir = newer.dir.parent
+        _age(newer_dir)
+        current = ArtifactStore(root=tmp_path)
+        assert newer_dir.exists()
+        assert current.stats()["invalidations"] == 0
+
+    def test_foreign_directories_are_never_swept(self, tmp_path):
+        # $REPRO_CACHE_DIR pointed at a shared directory (~/.cache, say):
+        # subdirectories that aren't version-tag-shaped are not ours and
+        # must survive every sweep, idle or not.
+        precious = tmp_path / "ssh"
+        precious.mkdir()
+        (precious / "id_rsa").write_text("irreplaceable")
+        _age(precious)
+        store = ArtifactStore(root=tmp_path)
+        store.put(baked_artifact())
+        assert (precious / "id_rsa").read_text() == "irreplaceable"
+        assert store.stats()["invalidations"] == 0
 
     def test_same_version_reopen_invalidates_nothing(self, tmp_path):
         ArtifactStore(root=tmp_path).put(baked_artifact())
