@@ -12,6 +12,8 @@ Commands
 ``classify``  report the Table-2 cell of a (schema, query) pair
 ``transform``  apply / type-check a Skolem transformation (Section 4.3)
 ``dot``  emit Graphviz DOT for a data graph or a schema graph
+``diff``  typed change-set + migration compatibility between two schemas
+(see ``docs/schema-delta.md``)
 ``serve``  run the typed-query daemon (see ``docs/service.md``)
 ``fuzz``  differential-test the decision procedures (see ``docs/testing.md``)
 ``batch``  run one operation over many NDJSON items, compiling the
@@ -258,6 +260,78 @@ def cmd_classify(args: argparse.Namespace) -> Outcome:
     result = dataclasses.asdict(cell)
     result["polynomial"] = cell.polynomial
     return EXIT_OK, result
+
+
+def _load_schema_file(path: str, wrap: bool):
+    """Parse one schema file; ``*.dtd`` parses as DTD, else ScmDL."""
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".dtd"):
+        return parse_dtd(text, wrap=wrap)
+    return parse_schema(text)
+
+
+def cmd_diff(args: argparse.Namespace) -> Outcome:
+    from .engine import Engine
+    from .schema import POLICIES, analyze_migration, diff_schemas
+
+    if args.policy not in POLICIES:
+        raise UsageError(f"--policy must be one of {POLICIES}, got {args.policy!r}")
+    old = _load_schema_file(args.old, wrap=bool(args.wrap))
+    new = _load_schema_file(args.new, wrap=bool(args.wrap))
+
+    queries = []
+    if args.queries:
+        with open(args.queries) as handle:
+            for line_no, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    item = json.loads(line)
+                except ValueError:
+                    # Bare query text is accepted alongside NDJSON objects.
+                    item = line
+                if isinstance(item, dict):
+                    item = item.get("query")
+                if not isinstance(item, str) or not item.strip():
+                    raise UsageError(
+                        f"{args.queries}:{line_no}: expected a query string "
+                        'or {"query": ...} object'
+                    )
+                queries.append(item)
+
+    engine_old = Engine(backend=args.backend)
+    engine_new = Engine(backend=args.backend)
+    delta = diff_schemas(old, new, engine=engine_new)
+    report = analyze_migration(
+        old,
+        new,
+        queries=queries,
+        policy=args.policy,
+        engine_old=engine_old,
+        engine_new=engine_new,
+        delta=delta,
+    )
+    # The payload is deliberately backend-free: both automata backends
+    # must produce byte-identical envelopes (CI compares them with cmp).
+    result = report.to_dict()
+    if not args.json:
+        print(f"old: {delta.old_fingerprint}")
+        print(f"new: {delta.new_fingerprint}")
+        print(f"compatibility: {delta.compatibility} (composed: {delta.composed})")
+        if delta.identical:
+            print("(schemas are identical)")
+        for change in delta.changes:
+            print(f"  {change.describe()}")
+        if report.queries:
+            print(f"queries: {report.counts}")
+            for query in report.queries:
+                print(f"  [{query.status:8s}] {query.query}")
+                if query.counterexample:
+                    print(f"      counterexample: {' '.join(query.counterexample)}")
+        print(f"policy {args.policy}: {'ACCEPT' if report.accepted else 'REJECT'}")
+    return (EXIT_OK if report.accepted else EXIT_NEGATIVE), result
 
 
 def cmd_fuzz(args: argparse.Namespace) -> Outcome:
@@ -603,6 +677,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_schema_options(classify_cmd)
     classify_cmd.add_argument("query", help="query file")
 
+    diff_cmd = add_command(
+        "diff",
+        cmd_diff,
+        help="typed change-set and migration compatibility between two schemas",
+    )
+    diff_cmd.add_argument(
+        "old", help="current schema file (*.dtd parses as DTD, else ScmDL)"
+    )
+    diff_cmd.add_argument(
+        "new", help="candidate schema file (*.dtd parses as DTD, else ScmDL)"
+    )
+    diff_cmd.add_argument(
+        "--queries",
+        default=None,
+        help="NDJSON file of registered queries to re-typecheck against both "
+        'schemas (bare strings or {"query": ...} objects, one per line)',
+    )
+    diff_cmd.add_argument(
+        "--policy",
+        default="compatible",
+        help="acceptance policy: any, compatible, or strict (default: compatible)",
+    )
+    diff_cmd.add_argument(
+        "--wrap",
+        action="store_true",
+        help="for *.dtd inputs: add the synthetic document root",
+    )
+    diff_cmd.add_argument(
+        "--backend",
+        choices=("nfa", "compiled"),
+        default=None,
+        help="automata backend for the analysis engines; the JSON envelope "
+        "is byte-identical across backends "
+        "(default: REPRO_BACKEND env var, then 'compiled')",
+    )
+
     fuzz_cmd = add_command(
         "fuzz",
         cmd_fuzz,
@@ -621,7 +731,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--sections",
         default=None,
         help="comma-separated subset: automata,containment,eval,"
-        "conformance,compiled,backend",
+        "conformance,compiled,backend,delta",
     )
     fuzz_cmd.add_argument(
         "--max-len",

@@ -150,6 +150,7 @@ class ArtifactStore:
         self._corrupt = 0
         self._evictions = 0
         self._invalidations = 0
+        self._deletes = 0
         if sweep_stale:
             self._sweep_stale_versions()
 
@@ -345,6 +346,21 @@ class ArtifactStore:
         self._enforce_bound(keep=fingerprint)
         return path
 
+    def delete(self, fingerprint: str) -> bool:
+        """Explicitly drop a stored artifact (schema unregistered/migrated).
+
+        Returns True when a blob existed under the key.  Counted under
+        ``deletes`` — distinct from ``evictions`` (LRU bound pressure)
+        and ``corrupt`` (failed reads), so ``/stats`` can tell a caller's
+        retention decision apart from the store's own housekeeping.
+        """
+        existed = self.contains(fingerprint)
+        self._discard(fingerprint)
+        if existed:
+            with self._lock:
+                self._deletes += 1
+        return existed
+
     def _discard(self, fingerprint: str) -> None:
         for path in (self.path_for(fingerprint), self._meta_path(fingerprint)):
             try:
@@ -417,6 +433,7 @@ class ArtifactStore:
                 "corrupt": self._corrupt,
                 "evictions": self._evictions,
                 "invalidations": self._invalidations,
+                "deletes": self._deletes,
             }
 
     def __repr__(self) -> str:

@@ -47,6 +47,7 @@ from .differential import (
     run_automata_section,
     run_conformance_section,
     run_containment_section,
+    run_delta_section,
     run_eval_section,
     run_fuzz,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "run_automata_section",
     "run_conformance_section",
     "run_containment_section",
+    "run_delta_section",
     "run_eval_section",
     "run_fuzz",
 ]

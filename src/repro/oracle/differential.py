@@ -65,6 +65,7 @@ _SALTS: Dict[str, int] = {
     "conformance": 401,
     "compiled": 503,
     "backend": 601,
+    "delta": 701,
 }
 
 
@@ -681,6 +682,153 @@ def _safe_split(split_verdict, schema: Schema, query: Query) -> bool:
 
 
 # ----------------------------------------------------------------------
+# Section 7: the evolution classifier vs bounded instance enumeration
+# ----------------------------------------------------------------------
+
+
+def run_delta_section(
+    seed: int,
+    cases: int,
+    *,
+    diff_fn: Callable[..., object] = None,  # type: ignore[assignment]
+) -> Tuple[List[Discrepancy], int, int]:
+    """Cross-check :func:`repro.schema.delta.diff_schemas` verdicts.
+
+    Each case mutates a random schema (``workloads.mutate_schema``) and
+    classifies the pair.  Two oracles apply:
+
+    * **soundness of the compatibility claim** — simulation is sound, so
+      a claimed ``widening`` means every old instance stays valid (and
+      symmetrically for ``narrowing``, both ways for ``equivalent``).
+      Bounded enumeration of conforming instances must agree;
+      ``incomparable`` makes no inclusion claim, so nothing to refute.
+    * **counterexample words** — every separating word attached to a
+      content-model change must actually separate the two languages per
+      Brzozowski-derivative membership.
+    """
+    from ..schema.delta import (
+        EQUIVALENT,
+        NARROWING,
+        WIDENING,
+        diff_schemas,
+    )
+    from ..workloads.instances import enumerate_instances
+    from ..workloads.mutations import mutate_schema
+
+    if diff_fn is None:
+        diff_fn = diff_schemas
+    found: List[Discrepancy] = []
+    skipped = 0
+
+    def schema_repr(schema: Schema) -> str:
+        return "; ".join(repr(schema.type(t)) for t in schema.tids())
+
+    def instance_escape(source: Schema, target: Schema) -> Optional[DataGraph]:
+        """A bounded instance of ``source`` that does not conform to ``target``."""
+        count = 0
+        for graph in enumerate_instances(source, max_nodes=6, max_word=3):
+            if not exhaustive_conforms(graph, target):
+                return graph
+            count += 1
+            if count >= 12:
+                break
+        return None
+
+    for case in range(cases):
+        rng = _case_rng(seed, "delta", case)
+        old = random_schema(rng, n_types=rng.randint(2, 4))
+        try:
+            new, kind = mutate_schema(old, rng)
+        except ValueError:
+            skipped += 1
+            continue
+        delta = diff_fn(old, new)
+        if not delta.changes:
+            found.append(
+                Discrepancy(
+                    section="delta",
+                    case=case,
+                    seed=seed,
+                    check="changes",
+                    detail=(
+                        f"mutation {kind!r} changed the fingerprint but the "
+                        "diff reports no changes"
+                    ),
+                    inputs={"old": schema_repr(old), "new": schema_repr(new)},
+                )
+            )
+            continue
+
+        checks = []  # (direction label, source, target)
+        if delta.compatibility in (EQUIVALENT, WIDENING):
+            checks.append(("old ⊑ new", old, new))
+        if delta.compatibility in (EQUIVALENT, NARROWING):
+            checks.append(("new ⊑ old", new, old))
+        escaped = False
+        for direction, source, target in checks:
+            try:
+                escape = instance_escape(source, target)
+            except ValueError:
+                skipped += 1
+                escaped = True
+                break
+            if escape is not None:
+                found.append(
+                    Discrepancy(
+                        section="delta",
+                        case=case,
+                        seed=seed,
+                        check="compatibility",
+                        detail=(
+                            f"claimed {delta.compatibility} (so {direction}) "
+                            f"after mutation {kind!r}, but an instance of the "
+                            "smaller schema does not conform to the larger"
+                        ),
+                        inputs={
+                            "old": schema_repr(old),
+                            "new": schema_repr(new),
+                            "instance": _graph_repr(escape),
+                        },
+                    )
+                )
+                escaped = True
+                break
+        if escaped:
+            continue
+
+        for change in delta.changes:
+            word = getattr(change, "counterexample", None)
+            if word is None:
+                continue
+            old_regex = change.old_regex
+            new_regex = change.new_regex
+            if change.verdict == WIDENING:
+                # Widening counterexamples witness the growth: new \ old.
+                old_regex, new_regex = new_regex, old_regex
+            if not brz_accepts(old_regex, word) or brz_accepts(new_regex, word):
+                found.append(
+                    Discrepancy(
+                        section="delta",
+                        case=case,
+                        seed=seed,
+                        check="counterexample",
+                        detail=(
+                            f"{change.kind} ({change.verdict}) carries "
+                            f"counterexample {word!r} that does not separate "
+                            "the content-model languages"
+                        ),
+                        inputs={
+                            "old_regex": repr(change.old_regex),
+                            "new_regex": repr(change.new_regex),
+                            "word": repr(word),
+                        },
+                    )
+                )
+                break
+    return found, cases, skipped
+
+
+# ----------------------------------------------------------------------
 # The fuzzing entry point
 # ----------------------------------------------------------------------
 
@@ -692,6 +840,7 @@ SECTIONS: Dict[str, Callable[[int, int], Tuple[List[Discrepancy], int, int]]] = 
     "conformance": run_conformance_section,
     "compiled": run_compiled_section,
     "backend": run_backend_section,
+    "delta": run_delta_section,
 }
 
 #: Sections whose word-enumeration bound ``--max-len`` overrides.

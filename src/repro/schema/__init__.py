@@ -4,8 +4,10 @@ Provides the schema model and classifiers (:class:`Schema`,
 :class:`TypeDef`), the Table-1 textual syntax (:func:`parse_schema` /
 :func:`schema_to_string`), DTD translation (:func:`parse_dtd` /
 :func:`schema_to_dtd`), conformance checking per Definition 2.1
-(:func:`conforms`, :func:`find_type_assignment`), and schema subsumption
-(:func:`subsumes`).
+(:func:`conforms`, :func:`find_type_assignment`), schema subsumption
+(:func:`subsumes`), and schema evolution: typed diffs
+(:func:`diff_schemas`) and migration compatibility reports
+(:func:`analyze_migration`).
 """
 
 from .model import (
@@ -26,6 +28,30 @@ from .conformance import (
     verify_assignment,
 )
 from .subsumption import simulation, subsumes
+from .delta import (
+    CHANGE_KINDS,
+    VERDICTS,
+    AddType,
+    ChangeAtomicDomain,
+    ChangeContentModel,
+    ChangeEdgeLabel,
+    ChangeKind,
+    ChangeRoot,
+    DropType,
+    RenameType,
+    SchemaChange,
+    SchemaDelta,
+    compose_verdicts,
+    diff_schemas,
+    separating_word,
+)
+from .migrate import (
+    POLICIES,
+    QUERY_STATUSES,
+    MigrationReport,
+    QueryReport,
+    analyze_migration,
+)
 from .predicates import (
     LabelPredicate,
     PredicateSchema,
@@ -35,15 +61,35 @@ from .predicates import (
 
 __all__ = [
     "ATOMIC_TYPE_NAMES",
+    "AddType",
+    "CHANGE_KINDS",
+    "ChangeAtomicDomain",
+    "ChangeContentModel",
+    "ChangeEdgeLabel",
+    "ChangeKind",
+    "ChangeRoot",
+    "DropType",
     "DtdError",
     "LabelPredicate",
+    "MigrationReport",
+    "POLICIES",
     "PredicateSchema",
-    "expand_for_data",
-    "expand_for_query",
+    "QUERY_STATUSES",
+    "QueryReport",
+    "RenameType",
     "Schema",
+    "SchemaChange",
+    "SchemaDelta",
     "SchemaError",
     "TypeDef",
     "TypeKind",
+    "VERDICTS",
+    "analyze_migration",
+    "compose_verdicts",
+    "diff_schemas",
+    "expand_for_data",
+    "expand_for_query",
+    "separating_word",
     "atomic_matches",
     "atomic_types_overlap",
     "candidate_types",

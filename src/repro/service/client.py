@@ -102,6 +102,37 @@ class ServiceClient:
     def evict_schema(self, fingerprint: str) -> Dict[str, Any]:
         return self.call("DELETE", f"/schemas/{fingerprint}")
 
+    def unregister(self, fingerprint: str) -> Dict[str, Any]:
+        """Drop the registry entry *and* its stored artifact."""
+        return self.call("DELETE", f"/schemas/{fingerprint}")
+
+    def migrate(
+        self,
+        fingerprint: str,
+        schema_text: str,
+        syntax: str = "scmdl",
+        wrap: bool = False,
+        queries: Optional[list] = None,
+        policy: str = "compatible",
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Analyze (and, if the policy accepts, apply) a migration."""
+        payload: Dict[str, Any] = {
+            "schema": schema_text,
+            "syntax": syntax,
+            "wrap": wrap,
+            "policy": policy,
+        }
+        if queries:
+            payload["queries"] = list(queries)
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.call("POST", f"/schemas/{fingerprint}/migrate", payload)
+
+    def history(self, fingerprint: str) -> Dict[str, Any]:
+        """The entry's bounded version chain."""
+        return self.call("GET", f"/schemas/{fingerprint}/history")
+
     def satisfiable(
         self,
         fingerprint: str,

@@ -13,7 +13,12 @@ Endpoints (all bodies and responses are JSON envelopes, see
 ``POST /schemas``     register ScmDL/DTD text; returns the fingerprint
                       handle and pre-warms the schema's engine
 ``GET /schemas``      list resident schemas
-``DELETE /schemas/F`` evict fingerprint ``F``
+``DELETE /schemas/F`` unregister fingerprint ``F`` (registry entry and
+                      stored artifact)
+``POST /schemas/F/migrate``  analyze a candidate schema against ``F``'s
+                      registered queries-of-record and atomically swap
+                      the entry when the report meets ``policy``
+``GET /schemas/F/history``   the entry's bounded version chain
 ``POST /satisfiable`` Section 3.1 type correctness
 ``POST /check``       Section 3.2/3.3 partial (or total) type checking
 ``POST /infer``       Section 3.3 type inference
@@ -138,16 +143,29 @@ class ServiceState:
                 command,
                 {"schemas": [entry.describe() for entry in self.registry.entries()]},
             )
-        if path.startswith("/schemas/") and method == "DELETE":
-            fingerprint = path[len("/schemas/"):]
-            evicted = self.registry.evict(fingerprint)
-            if not evicted:
-                raise ServiceError(
-                    f"fingerprint {fingerprint!r} is not registered",
-                    code="unknown-schema",
-                    status=404,
-                )
-            return 200, ok_envelope(command, {"evicted": fingerprint})
+        if path.startswith("/schemas/"):
+            rest = path[len("/schemas/"):]
+            if rest.endswith("/migrate"):
+                self._check_method(method, "POST", path)
+                fingerprint = rest[: -len("/migrate")]
+                payload = self._decode_body(body)
+                return 200, ok_envelope(command, self.do_migrate(fingerprint, payload))
+            if rest.endswith("/history"):
+                self._check_method(method, "GET", path)
+                fingerprint = rest[: -len("/history")]
+                entry = self.registry.get(fingerprint)
+                return 200, ok_envelope(command, entry.describe_history())
+            if "/" not in rest:
+                self._check_method(method, "DELETE", path)
+                evicted = self.registry.evict(rest, purge_store=True)
+                if not evicted:
+                    raise ServiceError(
+                        f"fingerprint {rest!r} is not registered",
+                        code="unknown-schema",
+                        status=404,
+                    )
+                self.metrics.record_unregister()
+                return 200, ok_envelope(command, {"evicted": rest})
         name = path.lstrip("/")
         if name in _POST_ENDPOINTS:
             self._check_method(method, "POST", path)
@@ -410,6 +428,59 @@ class ServiceState:
             "results": results,
             "summary": summary,
             "fingerprint": entry.fingerprint,
+        }
+
+    def do_migrate(self, fingerprint: str, body: Dict[str, Any]) -> dict:
+        """Analyze (and, when the policy accepts, apply) a migration.
+
+        Always answers 200 with ``accepted`` plus the full compatibility
+        report — a rejected migration is a successful *analysis*, and the
+        caller needs the structured report either way.
+        """
+        from ..schema.migrate import POLICIES
+
+        text = _require(body, "schema")
+        syntax = body.get("syntax", "scmdl")
+        if not isinstance(syntax, str):
+            raise ServiceError("'syntax' must be a string", code="bad-request")
+        wrap = bool(body.get("wrap", False))
+        policy = body.get("policy", "compatible")
+        if policy not in POLICIES:
+            raise ServiceError(
+                f"unknown policy {policy!r} "
+                f"(expected one of {', '.join(POLICIES)})",
+                code="bad-request",
+            )
+        queries = body.get("queries") or []
+        if not isinstance(queries, list) or not all(
+            isinstance(query, str) for query in queries
+        ):
+            raise ServiceError(
+                "'queries' must be a JSON array of query strings",
+                code="bad-request",
+            )
+        entry, report = self._deadlined(
+            body,
+            lambda: self.registry.migrate(
+                fingerprint,
+                text,
+                syntax=syntax,
+                wrap=wrap,
+                queries=tuple(queries),
+                policy=policy,
+            ),
+        )
+        self.metrics.record_migration(
+            report.accepted, len(report.queries), report.counts.get("breaks", 0)
+        )
+        return {
+            "accepted": report.accepted,
+            "fingerprint": fingerprint,
+            "new_fingerprint": entry.fingerprint,
+            "version": entry.version,
+            "compatibility": report.compatibility,
+            "report": report.to_dict(),
+            "resident": len(self.registry),
         }
 
     # ------------------------------------------------------------------

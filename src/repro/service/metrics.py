@@ -77,6 +77,12 @@ class ServiceMetrics:
         self._batch_item_errors = 0
         self._batch_total_ms = 0.0
         self._batch_max_ms = 0.0
+        self._migrations = 0
+        self._migrations_accepted = 0
+        self._migrations_rejected = 0
+        self._migration_queries = 0
+        self._migration_breaks = 0
+        self._unregisters = 0
 
     def mark_started(self, now: float) -> None:
         """Record the server start time (``time.time()``) for uptime."""
@@ -111,6 +117,27 @@ class ServiceMetrics:
             self._batch_total_ms += elapsed_ms
             self._batch_max_ms = max(self._batch_max_ms, elapsed_ms)
 
+    def record_migration(self, accepted: bool, queries: int, breaks: int) -> None:
+        """Record one finished ``/schemas/{fp}/migrate`` analysis.
+
+        Tracks the delta subsystem's decisions: how many migrations were
+        analyzed, how many met their policy, and how many registered
+        queries the rejected ones would have broken.
+        """
+        with self._lock:
+            self._migrations += 1
+            if accepted:
+                self._migrations_accepted += 1
+            else:
+                self._migrations_rejected += 1
+            self._migration_queries += queries
+            self._migration_breaks += breaks
+
+    def record_unregister(self) -> None:
+        """Record one explicit ``DELETE /schemas/{fp}``."""
+        with self._lock:
+            self._unregisters += 1
+
     def snapshot(self) -> dict:
         """All per-endpoint counters plus request/error and batch totals."""
         with self._lock:
@@ -130,9 +157,18 @@ class ServiceMetrics:
                     "max": round(self._batch_max_ms, 3),
                 },
             }
+            delta = {
+                "migrations": self._migrations,
+                "accepted": self._migrations_accepted,
+                "rejected": self._migrations_rejected,
+                "queries_analyzed": self._migration_queries,
+                "queries_broken": self._migration_breaks,
+                "unregisters": self._unregisters,
+            }
         return {
             "requests": sum(e["requests"] for e in endpoints.values()),
             "errors": sum(e["errors"] for e in endpoints.values()),
             "batch": batch,
+            "delta": delta,
             "endpoints": endpoints,
         }

@@ -32,7 +32,12 @@ from typing import Dict, List, Optional
 
 from ..engine import Engine
 from ..schema import Schema, parse_dtd, parse_schema
+from ..schema.migrate import MigrationReport, analyze_migration
 from .envelope import ServiceError
+
+#: Bound on the per-entry version chain ``GET /schemas/{fp}/history``
+#: serves; older predecessors fall off the front.
+MAX_HISTORY = 16
 
 
 class UnknownSchemaError(ServiceError):
@@ -58,6 +63,11 @@ class RegisteredSchema:
     syntax: str
     registered_at: float
     requests: int = 0
+    #: 1 for a fresh registration; each accepted migration bumps it.
+    version: int = 1
+    #: Bounded chain of superseded predecessors, oldest first (see
+    #: :data:`MAX_HISTORY`); each element is a JSON-able snapshot.
+    history: List[dict] = field(default_factory=list)
     info: Dict[str, object] = field(default_factory=dict)
 
     def describe(self) -> dict:
@@ -69,7 +79,18 @@ class RegisteredSchema:
             "types": sorted(self.schema.tids()),
             "labels": sorted(self.schema.labels()),
             "requests": self.requests,
+            "version": self.version,
             **self.info,
+        }
+
+    def describe_history(self) -> dict:
+        """The JSON payload ``GET /schemas/{fp}/history`` returns."""
+        return {
+            "fingerprint": self.fingerprint,
+            "version": self.version,
+            "syntax": self.syntax,
+            "root": self.schema.root,
+            "history": [dict(snapshot) for snapshot in self.history],
         }
 
 
@@ -131,6 +152,9 @@ class SchemaRegistry:
         self._lookups = 0
         self._lookup_misses = 0
         self._restored = 0
+        self._unregistered = 0
+        self._migrations = 0
+        self._migrations_rejected = 0
         if store is not None and restore:
             self._restore_from_store()
 
@@ -238,6 +262,119 @@ class SchemaRegistry:
             return entry
 
     # ------------------------------------------------------------------
+    # Migration (the version-aware path)
+    # ------------------------------------------------------------------
+
+    def migrate(
+        self,
+        fingerprint: str,
+        text: str,
+        syntax: str = "scmdl",
+        wrap: bool = False,
+        queries: tuple = (),
+        policy: str = "compatible",
+    ) -> tuple:
+        """Analyze a migration and, if the policy accepts, swap the entry.
+
+        Parses and pre-warms the candidate schema (same backend as the
+        resident entry, artifact persisted through the store), runs
+        :func:`repro.schema.migrate.analyze_migration` against the
+        resident schema's warm engine, and — only when the report meets
+        ``policy`` — atomically replaces the registry entry: the new
+        fingerprint takes the old one's slot with ``version + 1`` and the
+        predecessor appended to its bounded history chain, and the old
+        fingerprint's stored artifact is deleted so a restart restores
+        only the migrated schema.
+
+        Returns ``(entry, report)`` where ``entry`` is the new entry on
+        acceptance and the (unchanged) resident entry on rejection.
+
+        Raises:
+            UnknownSchemaError: if ``fingerprint`` is not resident.
+        """
+        current = self.get(fingerprint)  # 404s early, refreshes recency
+
+        if syntax == "scmdl":
+            schema = parse_schema(text)
+        elif syntax == "dtd":
+            schema = parse_dtd(text, wrap=wrap)
+        else:
+            raise ServiceError(
+                f"unknown schema syntax {syntax!r} (expected 'scmdl' or 'dtd')",
+                code="bad-request",
+            )
+        new_fingerprint = schema.fingerprint()
+
+        # Compile outside the lock, exactly like register().
+        engine = Engine(
+            max_entries=self.engine_max_entries,
+            backend=current.engine.backend,
+            store=self.store,
+        )
+        store_hit = engine.warm_from_store(schema)
+        if not store_hit:
+            prewarm(schema, engine)
+            engine.persist_to_store(schema, syntax=syntax)
+
+        report = analyze_migration(
+            current.schema,
+            schema,
+            queries=queries,
+            policy=policy,
+            engine_old=current.engine,
+            engine_new=engine,
+        )
+        if not report.accepted:
+            with self._lock:
+                self._migrations_rejected += 1
+            # Do not leave the rejected candidate's artifact behind: a
+            # restart restores every stored blob as a *registered* schema,
+            # and the policy just refused this one.  A blob that existed
+            # before the analysis (store_hit) is someone else's and stays.
+            if self.store is not None and not store_hit:
+                if new_fingerprint not in self:
+                    self.store.delete(new_fingerprint)
+            return current, report
+        if new_fingerprint == fingerprint:
+            # A no-op migration: nothing to swap, no version bump.
+            with self._lock:
+                self._migrations += 1
+            return current, report
+
+        snapshot = {
+            "fingerprint": fingerprint,
+            "version": current.version,
+            "registered_at": current.registered_at,
+            "migrated_at": time.time(),
+            "compatibility": report.compatibility,
+            "policy": policy,
+        }
+        entry = RegisteredSchema(
+            fingerprint=new_fingerprint,
+            schema=schema,
+            engine=engine,
+            syntax=syntax,
+            registered_at=time.time(),
+            version=current.version + 1,
+            history=(current.history + [snapshot])[-MAX_HISTORY:],
+            info={"warmed_entries": len(engine.cache), "migrated_from": fingerprint},
+        )
+        with self._lock:
+            resident = self._entries.pop(fingerprint, None)
+            if resident is None:
+                # Concurrently unregistered while we analyzed; surface 404.
+                raise UnknownSchemaError(fingerprint)
+            self._entries[new_fingerprint] = entry
+            self._entries.move_to_end(new_fingerprint)
+            self._migrations += 1
+            while len(self._entries) > self.max_schemas:
+                self._entries.popitem(last=False)
+                self._evicted += 1
+        if self.store is not None:
+            self.store.delete(fingerprint)
+        return entry, report
+
+    # ------------------------------------------------------------------
     # Lookup / eviction
     # ------------------------------------------------------------------
 
@@ -262,13 +399,23 @@ class SchemaRegistry:
             entry.requests += 1
             return entry
 
-    def evict(self, fingerprint: str) -> bool:
-        """Drop ``fingerprint``; True if it was resident."""
+    def evict(self, fingerprint: str, purge_store: bool = False) -> bool:
+        """Drop ``fingerprint``; True if it was resident.
+
+        ``purge_store=True`` (what ``DELETE /schemas/{fp}`` passes) also
+        deletes the schema's stored artifact, so an unregistered schema
+        does not come back compiled on the next restart.  Explicit drops
+        are additionally counted under ``unregistered`` — ``evicted``
+        keeps covering every removal, LRU pressure included.
+        """
         with self._lock:
             entry = self._entries.pop(fingerprint, None)
             if entry is not None:
                 self._evicted += 1
-            return entry is not None
+                self._unregistered += 1
+        if purge_store and self.store is not None:
+            self.store.delete(fingerprint)
+        return entry is not None
 
     def __len__(self) -> int:
         with self._lock:
@@ -301,6 +448,9 @@ class SchemaRegistry:
                 "lookups": self._lookups,
                 "lookup_misses": self._lookup_misses,
                 "restored": self._restored,
+                "unregistered": self._unregistered,
+                "migrations": self._migrations,
+                "migrations_rejected": self._migrations_rejected,
             }
         if self.store is not None:
             counters["store"] = self.store.stats()

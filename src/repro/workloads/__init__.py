@@ -32,6 +32,10 @@ from .corpus import (
     corpus_to_ndjson,
     write_corpus,
 )
+from .mutations import (
+    MUTATION_KINDS,
+    mutate_schema,
+)
 from .queries import (
     bounded_join_query,
     chain_query,
@@ -44,6 +48,7 @@ from .queries import (
 
 __all__ = [
     "CORPUS_OPERATIONS",
+    "MUTATION_KINDS",
     "batch_corpus",
     "bounded_join_query",
     "chain_query",
@@ -55,6 +60,7 @@ __all__ = [
     "document_schema",
     "enumerate_instances",
     "join_schema",
+    "mutate_schema",
     "random_dtd",
     "random_graph",
     "random_instance",

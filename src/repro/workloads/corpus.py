@@ -14,8 +14,8 @@ import json
 import random
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..data import data_to_string
-from ..query import query_to_string
+from ..data import data_to_string, parse_data
+from ..query import parse_query, query_to_string
 from ..schema import schema_to_string
 from .generators import random_query
 from .instances import random_instance
@@ -77,18 +77,64 @@ def batch_corpus(
     return schema_to_string(schema), items
 
 
+#: Resample attempts before _make_item gives up on a seeded draw.  The
+#: generators emit parser round-trippable output by construction, so one
+#: draw should always suffice; the bound exists so a generator/printer
+#: regression fails loudly instead of looping forever.
+_MAX_RESAMPLES = 16
+
+
+def _valid_query(text: str) -> bool:
+    try:
+        parse_query(text)
+    except (ValueError, SyntaxError):
+        return False
+    return True
+
+
+def _valid_data(text: str) -> bool:
+    try:
+        parse_data(text)
+    except (ValueError, SyntaxError):
+        return False
+    return True
+
+
+def _sampled(render, valid, rng: random.Random, what: str) -> str:
+    """Draw, render, and parse-check; reject-and-resample on failure.
+
+    Every clean corpus item must survive the same parse the pipeline
+    applies, so generator output that doesn't round-trip is rejected
+    here rather than surfacing later as phantom ``corpus_errors``.
+    """
+    for _ in range(_MAX_RESAMPLES):
+        text = render(rng)
+        if valid(text):
+            return text
+    raise RuntimeError(
+        f"corpus generator produced {_MAX_RESAMPLES} consecutive "
+        f"unparsable {what} items — generator/printer mismatch"
+    )
+
+
 def _make_item(
     operation: str, schema, labels: List[str], rng: random.Random
 ) -> Dict[str, Any]:
+    def render_data(r: random.Random) -> str:
+        return data_to_string(random_instance(schema, r, max_depth=6))
+
+    def render_query(r: random.Random) -> str:
+        return query_to_string(
+            random_query(r, labels=labels, max_defs=2, max_arms=2)
+        )
+
     if operation == "conforms":
-        return {"data": data_to_string(random_instance(schema, rng, max_depth=6))}
-    query = query_to_string(
-        random_query(rng, labels=labels, max_defs=2, max_arms=2)
-    )
+        return {"data": _sampled(render_data, _valid_data, rng, "data")}
+    query = _sampled(render_query, _valid_query, rng, "query")
     if operation == "evaluate":
         return {
             "query": query,
-            "data": data_to_string(random_instance(schema, rng, max_depth=6)),
+            "data": _sampled(render_data, _valid_data, rng, "data"),
             "limit": 16,
         }
     item: Dict[str, Any] = {"query": query}

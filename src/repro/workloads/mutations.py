@@ -1,0 +1,274 @@
+"""Seeded schema mutations for the evolution/delta subsystem.
+
+:func:`mutate_schema` applies one random, *effective* edit to a schema
+(the mutated schema is always well-formed and has a different
+fingerprint) and reports which kind of edit it made.  Each kind maps
+onto one change class of :mod:`repro.schema.delta`:
+
+========================  ====================================
+mutation kind             expected change class
+========================  ====================================
+``add_type``              ``add_type``
+``drop_type``             ``drop_type``
+``rename_type``           ``rename_type``
+``widen_content``         ``change_content_model`` (widening)
+``narrow_content``        ``change_content_model``
+``rename_label``          ``change_edge_label``
+``change_atomic``         ``change_atomic``
+``change_kind``           ``change_kind``
+========================  ====================================
+
+The generator is the seeded workload behind the CI ``delta-smoke`` job
+and the ``delta`` fuzz section: it produces (old, new) schema pairs
+whose classified verdicts the brute-force oracle can cross-check.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..automata import Alt, Concat, Epsilon, Regex, Star, Sym, alt, concat, word
+from ..schema import ATOMIC_TYPE_NAMES, Schema, TypeDef, TypeKind
+
+#: Every mutation kind :func:`mutate_schema` can apply.
+MUTATION_KINDS: Tuple[str, ...] = (
+    "add_type",
+    "drop_type",
+    "rename_type",
+    "widen_content",
+    "narrow_content",
+    "rename_label",
+    "change_atomic",
+    "change_kind",
+)
+
+
+def _fresh_name(base: str, taken) -> str:
+    index = 0
+    while f"{base}{index}" in taken:
+        index += 1
+    return f"{base}{index}"
+
+
+def _collection_tids(schema: Schema) -> List[str]:
+    return [t.tid for t in schema if not t.is_atomic]
+
+
+def _atomic_tids(schema: Schema) -> List[str]:
+    return [t.tid for t in schema if t.is_atomic]
+
+
+def _replace(schema: Schema, replacement: TypeDef) -> Schema:
+    types = [
+        replacement if t.tid == replacement.tid else t for t in schema
+    ]
+    return Schema(types)
+
+
+def _some_word(regex: Regex) -> Optional[List]:
+    """One word of ``lang(regex)`` read off the syntax (None if empty)."""
+    if isinstance(regex, Epsilon) or isinstance(regex, Star):
+        return []
+    if isinstance(regex, Sym):
+        return [regex.symbol]
+    if isinstance(regex, Concat):
+        parts = []
+        for part in regex.parts:
+            picked = _some_word(part)
+            if picked is None:
+                return None
+
+            parts.extend(picked)
+        return parts
+    if isinstance(regex, Alt):
+        for part in regex.parts:
+            picked = _some_word(part)
+            if picked is not None:
+                return picked
+    return None
+
+
+def _mutate_add_type(schema: Schema, rng: random.Random) -> Optional[Schema]:
+    tid = _fresh_name("MUT", set(schema.tids()))
+    domain = rng.choice(ATOMIC_TYPE_NAMES)
+    types = list(schema) + [TypeDef(tid, TypeKind.ATOMIC, atomic=domain)]
+    return Schema(types)
+
+
+def _prune_target(regex: Regex, dropped: str) -> Regex:
+    """Rewrite ``regex`` with every atom targeting ``dropped`` elided.
+
+    Atoms become epsilon (not Empty: that would collapse enclosing
+    concatenations to the empty language, leaving uninhabited types) and
+    the smart constructors renormalize — ``a->T . b->U`` prunes to
+    ``b->U``, ``(a->T)*`` to epsilon.
+    """
+    from ..automata import EPSILON, star
+
+    if isinstance(regex, Sym):
+        return EPSILON if regex.symbol[1] == dropped else regex
+    if isinstance(regex, Concat):
+        return concat(*(_prune_target(p, dropped) for p in regex.parts))
+    if isinstance(regex, Alt):
+        return alt(*(_prune_target(p, dropped) for p in regex.parts))
+    if isinstance(regex, Star):
+        return star(_prune_target(regex.inner, dropped))
+    return regex
+
+
+def _mutate_drop_type(schema: Schema, rng: random.Random) -> Optional[Schema]:
+    candidates = [t.tid for t in schema if t.tid != schema.root]
+    if not candidates:
+        return None
+    dropped = rng.choice(candidates)
+    referenced = {target for t in schema for _label, target in t.symbols()}
+    types = []
+    for t in schema:
+        if t.tid == dropped:
+            continue
+        if t.is_atomic or dropped not in referenced:
+            types.append(t)
+        else:
+            types.append(
+                TypeDef(t.tid, t.kind, regex=_prune_target(t.regex, dropped))
+            )
+    return Schema(types)
+
+
+def _mutate_rename_type(schema: Schema, rng: random.Random) -> Optional[Schema]:
+    old_tid = rng.choice(list(schema.tids()))
+    prefix = "&" if old_tid.startswith("&") else ""
+    new_tid = prefix + _fresh_name(
+        "MUT", {tid.lstrip("&") for tid in schema.tids()}
+    )
+
+    def rename(symbol):
+        label, target = symbol
+        return (label, new_tid) if target == old_tid else symbol
+
+    types = []
+    for t in schema:
+        tid = new_tid if t.tid == old_tid else t.tid
+        if t.is_atomic:
+            types.append(TypeDef(tid, t.kind, atomic=t.atomic))
+        else:
+            types.append(TypeDef(tid, t.kind, regex=t.regex.map_symbols(rename)))
+    return Schema(types)
+
+
+def _mutate_widen_content(schema: Schema, rng: random.Random) -> Optional[Schema]:
+    candidates = _collection_tids(schema)
+    if not candidates:
+        return None
+    tid = rng.choice(candidates)
+    target_def = schema.type(tid)
+    label = _fresh_name("mut", schema.labels())
+    # Point the new alternative at an atomic type when one exists — atomic
+    # types are always inhabited, so the widened language stays realizable.
+    atomic = _atomic_tids(schema)
+    target = rng.choice(atomic or list(schema.tids()))
+    widened = alt(target_def.regex, Sym((label, target)))
+    return _replace(schema, TypeDef(tid, target_def.kind, regex=widened))
+
+
+def _mutate_narrow_content(schema: Schema, rng: random.Random) -> Optional[Schema]:
+    candidates = []
+    for tid in _collection_tids(schema):
+        regex = schema.type(tid).regex
+        if isinstance(regex, (Alt, Star)) or _some_word(regex) is not None:
+            candidates.append(tid)
+    if not candidates:
+        return None
+    tid = rng.choice(candidates)
+    target_def = schema.type(tid)
+    regex = target_def.regex
+    if isinstance(regex, Alt):
+        narrowed: Regex = rng.choice(list(regex.parts))
+    elif isinstance(regex, Star):
+        narrowed = concat()  # epsilon: keep only the zero-iteration word
+    else:
+        narrowed = word(_some_word(regex))
+    return _replace(schema, TypeDef(tid, target_def.kind, regex=narrowed))
+
+
+def _mutate_rename_label(schema: Schema, rng: random.Random) -> Optional[Schema]:
+    candidates = [
+        tid for tid in _collection_tids(schema) if schema.type(tid).symbols()
+    ]
+    if not candidates:
+        return None
+    tid = rng.choice(candidates)
+    target_def = schema.type(tid)
+    old_label = rng.choice(sorted({label for label, _t in target_def.symbols()}))
+    new_label = _fresh_name("mut", schema.labels())
+
+    def relabel(symbol):
+        label, target = symbol
+        return (new_label, target) if label == old_label else symbol
+
+    renamed = target_def.regex.map_symbols(relabel)
+    return _replace(schema, TypeDef(tid, target_def.kind, regex=renamed))
+
+
+def _mutate_change_atomic(schema: Schema, rng: random.Random) -> Optional[Schema]:
+    candidates = _atomic_tids(schema)
+    if not candidates:
+        return None
+    tid = rng.choice(candidates)
+    target_def = schema.type(tid)
+    domain = rng.choice([d for d in ATOMIC_TYPE_NAMES if d != target_def.atomic])
+    return _replace(schema, TypeDef(tid, TypeKind.ATOMIC, atomic=domain))
+
+
+def _mutate_change_kind(schema: Schema, rng: random.Random) -> Optional[Schema]:
+    candidates = _collection_tids(schema)
+    if not candidates:
+        return None
+    tid = rng.choice(candidates)
+    target_def = schema.type(tid)
+    flipped = (
+        TypeKind.UNORDERED if target_def.kind is TypeKind.ORDERED else TypeKind.ORDERED
+    )
+    return _replace(schema, TypeDef(tid, flipped, regex=target_def.regex))
+
+
+_APPLIERS: dict = {
+    "add_type": _mutate_add_type,
+    "drop_type": _mutate_drop_type,
+    "rename_type": _mutate_rename_type,
+    "widen_content": _mutate_widen_content,
+    "narrow_content": _mutate_narrow_content,
+    "rename_label": _mutate_rename_label,
+    "change_atomic": _mutate_change_atomic,
+    "change_kind": _mutate_change_kind,
+}
+
+
+def mutate_schema(
+    schema: Schema,
+    rng: random.Random,
+    kinds: Optional[Sequence[str]] = None,
+) -> Tuple[Schema, str]:
+    """Apply one effective random mutation; return ``(mutant, kind)``.
+
+    ``kinds`` restricts the edit to a subset of :data:`MUTATION_KINDS`.
+    Kinds are tried in random order until one applies *and* changes the
+    fingerprint; raises :class:`ValueError` if none does (e.g. asking
+    for ``change_atomic`` on a schema without atomic types).
+    """
+    chosen = list(kinds) if kinds is not None else list(MUTATION_KINDS)
+    unknown = [kind for kind in chosen if kind not in _APPLIERS]
+    if unknown:
+        raise ValueError(
+            f"unknown mutation kinds {unknown} (expected from {MUTATION_KINDS})"
+        )
+    rng.shuffle(chosen)
+    fingerprint = schema.fingerprint()
+    for kind in chosen:
+        mutant = _APPLIERS[kind](schema, rng)
+        if mutant is not None and mutant.fingerprint() != fingerprint:
+            return mutant, kind
+    raise ValueError(
+        f"no mutation from {sorted(chosen)} applies to this schema"
+    )

@@ -1,0 +1,79 @@
+"""Property tests: schema mutations and corpus validity.
+
+The mutation generator backs the ``delta`` fuzz section and the CI
+delta-smoke job, so its two contracts are load-bearing: every mutant is
+a well-formed schema with a *different* fingerprint, and every clean
+batch corpus parses end to end (no phantom ``corpus_errors``).
+"""
+
+import random
+
+import pytest
+
+from repro.data import parse_data
+from repro.query import parse_query
+from repro.schema import Schema, diff_schemas, parse_schema, schema_to_string
+from repro.engine import Engine
+from repro.workloads import (
+    MUTATION_KINDS,
+    batch_corpus,
+    document_schema,
+    mutate_schema,
+    random_schema,
+)
+
+
+class TestMutationValidity:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_mutants_are_wellformed_and_effective(self, seed):
+        rng = random.Random(seed)
+        base = random_schema(rng, n_types=rng.randint(2, 5))
+        mutant, kind = mutate_schema(base, rng)
+        assert kind in MUTATION_KINDS
+        assert isinstance(mutant, Schema)
+        assert mutant.fingerprint() != base.fingerprint()
+        # Well-formed means the printer/parser round-trip closes.
+        assert (
+            parse_schema(schema_to_string(mutant)).fingerprint()
+            == mutant.fingerprint()
+        )
+
+    @pytest.mark.parametrize("kind", MUTATION_KINDS)
+    def test_every_kind_applies_to_the_document_corpus(self, kind):
+        rng = random.Random(99)
+        base = document_schema(8)
+        mutant, got = mutate_schema(base, rng, kinds=[kind])
+        assert got == kind
+        assert diff_schemas(base, mutant, engine=Engine()).changes
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            mutate_schema(document_schema(2), random.Random(0), kinds=["explode"])
+
+    def test_deterministic_under_a_seed(self):
+        base = document_schema(4)
+        first = mutate_schema(base, random.Random(123))
+        second = mutate_schema(base, random.Random(123))
+        assert first[1] == second[1]
+        assert first[0].fingerprint() == second[0].fingerprint()
+
+
+class TestCorpusValidity:
+    @pytest.mark.parametrize("operation", ("satisfiable", "infer", "evaluate", "conforms"))
+    def test_clean_corpora_are_fully_parseable(self, operation):
+        _schema_text, items = batch_corpus(
+            operation=operation, n_items=120, seed=7, n_sections=4
+        )
+        assert len(items) == 120
+        for item in items:
+            if "query" in item:
+                parse_query(item["query"])
+            if "data" in item:
+                parse_data(item["data"])
+
+    def test_corrupt_rate_still_injects_exactly_its_share(self):
+        _schema_text, items = batch_corpus(
+            operation="satisfiable", n_items=100, seed=7, corrupt_rate=0.05
+        )
+        bad = [item for item in items if item["query"] == "((( zzz9"]
+        assert len(bad) == 5
