@@ -28,7 +28,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..engine import Engine
 from ..schema import Schema, parse_dtd, parse_schema
@@ -38,6 +38,11 @@ from .envelope import ServiceError
 #: Bound on the per-entry version chain ``GET /schemas/{fp}/history``
 #: serves; older predecessors fall off the front.
 MAX_HISTORY = 16
+
+#: Bound on the per-entry decision memo (finished endpoint results keyed
+#: by the request's (operation, query, pins, ...) tuple; see
+#: :meth:`RegisteredSchema.cached_decision`).
+DECISION_CACHE_SIZE = 512
 
 
 class UnknownSchemaError(ServiceError):
@@ -69,6 +74,44 @@ class RegisteredSchema:
     #: :data:`MAX_HISTORY`); each element is a JSON-able snapshot.
     history: List[dict] = field(default_factory=list)
     info: Dict[str, object] = field(default_factory=dict)
+    #: Finished decision results keyed by the full request tuple.  A
+    #: registered schema is immutable (a migration swaps in a *new*
+    #: entry), so every decision endpoint is a pure function of its
+    #: request — the memo turns the warm path for a repeated request
+    #: into one dict lookup instead of thousands of engine-cache probes
+    #: (BENCH_service's ``warm_hit_delta`` showed ~1000 cache re-entries
+    #: per warm ``/infer``).
+    decisions: "OrderedDict[tuple, object]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+    decisions_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    decision_hits: int = 0
+    decision_misses: int = 0
+
+    def cached_decision(self, key: tuple, compute):
+        """Memoized ``compute()`` keyed by the request tuple ``key``.
+
+        Results are cached only on success (an exception propagates and
+        caches nothing) and treated as immutable by every caller — the
+        daemon shallow-copies before adding per-request fields.  The memo
+        is a bounded LRU (:data:`DECISION_CACHE_SIZE`); hits refresh
+        recency.
+        """
+        with self.decisions_lock:
+            if key in self.decisions:
+                self.decisions.move_to_end(key)
+                self.decision_hits += 1
+                return self.decisions[key]
+        value = compute()
+        with self.decisions_lock:
+            if key not in self.decisions:
+                self.decision_misses += 1
+                self.decisions[key] = value
+            while len(self.decisions) > DECISION_CACHE_SIZE:
+                self.decisions.popitem(last=False)
+        return value
 
     def describe(self) -> dict:
         """The JSON description ``GET /schemas`` and ``POST /schemas`` return."""
@@ -92,6 +135,23 @@ class RegisteredSchema:
             "root": self.schema.root,
             "history": [dict(snapshot) for snapshot in self.history],
         }
+
+
+def parse_schema_text(text: str, syntax: str = "scmdl", wrap: bool = False) -> Schema:
+    """Parse schema ``text`` in the named surface ``syntax``.
+
+    The one place registration, migration, and the pool frontend (which
+    must fingerprint a schema to route the registration to its shard
+    owner) agree on what syntaxes exist and how an unknown one fails.
+    """
+    if syntax == "scmdl":
+        return parse_schema(text)
+    if syntax == "dtd":
+        return parse_dtd(text, wrap=wrap)
+    raise ServiceError(
+        f"unknown schema syntax {syntax!r} (expected 'scmdl' or 'dtd')",
+        code="bad-request",
+    )
 
 
 def prewarm(schema: Schema, engine: Engine) -> int:
@@ -137,12 +197,18 @@ class SchemaRegistry:
         engine_max_entries: Optional[int] = 4096,
         store=None,
         restore: bool = True,
+        restore_filter: Optional[Callable[[str], bool]] = None,
     ):
         if max_schemas <= 0:
             raise ValueError("max_schemas must be positive")
         self.max_schemas = max_schemas
         self.engine_max_entries = engine_max_entries
         self.store = store
+        #: Restrict restore-on-construction to fingerprints this predicate
+        #: accepts.  Pool workers pass their shard predicate so each worker
+        #: warms only the fingerprints it will be routed (plus any explicit
+        #: reassignments), instead of every artifact in the shared store.
+        self.restore_filter = restore_filter
         self._entries: "OrderedDict[str, RegisteredSchema]" = OrderedDict()
         self._lock = threading.Lock()
         self._registered = 0
@@ -168,6 +234,8 @@ class SchemaRegistry:
         there, read as a miss) and simply is not restored.
         """
         fingerprints = self.store.fingerprints()  # LRU order, oldest first
+        if self.restore_filter is not None:
+            fingerprints = [fp for fp in fingerprints if self.restore_filter(fp)]
         if len(fingerprints) > self.max_schemas:
             fingerprints = fingerprints[-self.max_schemas :]
         for fingerprint in fingerprints:
@@ -204,15 +272,7 @@ class SchemaRegistry:
         fingerprint) is cheap: the existing compiled entry is refreshed in
         LRU order and returned, with none of the automata rebuilt.
         """
-        if syntax == "scmdl":
-            schema = parse_schema(text)
-        elif syntax == "dtd":
-            schema = parse_dtd(text, wrap=wrap)
-        else:
-            raise ServiceError(
-                f"unknown schema syntax {syntax!r} (expected 'scmdl' or 'dtd')",
-                code="bad-request",
-            )
+        schema = parse_schema_text(text, syntax=syntax, wrap=wrap)
         fingerprint = schema.fingerprint()
 
         with self._lock:
@@ -294,15 +354,7 @@ class SchemaRegistry:
         """
         current = self.get(fingerprint)  # 404s early, refreshes recency
 
-        if syntax == "scmdl":
-            schema = parse_schema(text)
-        elif syntax == "dtd":
-            schema = parse_dtd(text, wrap=wrap)
-        else:
-            raise ServiceError(
-                f"unknown schema syntax {syntax!r} (expected 'scmdl' or 'dtd')",
-                code="bad-request",
-            )
+        schema = parse_schema_text(text, syntax=syntax, wrap=wrap)
         new_fingerprint = schema.fingerprint()
 
         # Compile outside the lock, exactly like register().
@@ -457,12 +509,19 @@ class SchemaRegistry:
         engines = {}
         for entry in entries:
             stats = entry.engine.stats()
+            with entry.decisions_lock:
+                decisions = {
+                    "hits": entry.decision_hits,
+                    "misses": entry.decision_misses,
+                    "size": len(entry.decisions),
+                }
             engines[entry.fingerprint] = {
                 "backend": entry.engine.backend,
                 "hits": stats.hits,
                 "misses": stats.misses,
                 "evictions": stats.evictions,
                 "size": stats.size,
+                "decisions": decisions,
                 "by_kind": {
                     kind: {"hits": ks.hits, "misses": ks.misses}
                     for kind, ks in sorted(stats.by_kind.items())

@@ -1,0 +1,161 @@
+"""Regression tests for ``ServiceClient`` connection reuse.
+
+The client used to open a fresh ``HTTPConnection`` per call — a TCP
+handshake on every request against a keep-alive server, which was a
+third of the warm-path latency.  It must now
+
+* reuse one connection across sequential calls on the same thread,
+* survive a server that closes the idle connection (exactly one retry
+  on a fresh socket), and
+* still tear the connection down on real errors so the next call
+  starts clean.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service import ServiceClient, TypedQueryService
+
+
+@pytest.fixture(scope="module")
+def service():
+    with TypedQueryService(port=0) as svc:
+        yield svc
+
+
+class TestConnectionReuse:
+    def test_sequential_calls_share_one_socket(self, service):
+        client = ServiceClient(service.host, service.port)
+        try:
+            client.healthz()
+            first = client._connection().sock
+            port_before = first.getsockname()[1]
+            client.healthz()
+            client.stats()
+            second = client._connection().sock
+            assert second is first
+            assert second.getsockname()[1] == port_before
+        finally:
+            client.close()
+
+    def test_error_envelopes_do_not_burn_the_connection(self, service):
+        """4xx responses are normal keep-alive traffic, not transport
+        failures — the socket must survive them."""
+        client = ServiceClient(service.host, service.port)
+        try:
+            client.healthz()
+            sock = client._connection().sock
+            status, envelope = client.request(
+                "POST", "/satisfiable", {"fingerprint": "missing", "query": "x"}
+            )
+            assert status == 404
+            assert envelope["error"]["code"] == "unknown-schema"
+            assert client._connection().sock is sock
+        finally:
+            client.close()
+
+    def test_close_is_idempotent_and_reconnects(self, service):
+        client = ServiceClient(service.host, service.port)
+        client.healthz()
+        client.close()
+        client.close()  # second close must be a no-op
+        assert client.healthz()["status"] == "ok"  # lazily reconnects
+        client.close()
+
+    def test_threads_get_independent_connections(self, service):
+        client = ServiceClient(service.host, service.port)
+        sockets = {}
+
+        def probe(name):
+            client.healthz()
+            sockets[name] = client._connection().sock
+            client.close()
+
+        thread = threading.Thread(target=probe, args=("other",))
+        client.healthz()
+        sockets["main"] = client._connection().sock
+        thread.start()
+        thread.join(timeout=10)
+        assert sockets["other"] is not sockets["main"]
+        client.close()
+
+
+class _OneShotServer:
+    """Speaks one valid keep-alive HTTP response per connection, then
+    slams the connection shut — so the client's *second* request on the
+    cached socket always hits a stale connection.  Counts connections."""
+
+    def __init__(self):
+        self.sock = socket.create_server(("127.0.0.1", 0))
+        self.port = self.sock.getsockname()[1]
+        self.connections = 0
+        self._stop = threading.Event()
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        self.sock.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            self.connections += 1
+            with conn:
+                conn.settimeout(5)
+                try:
+                    conn.recv(65536)  # the request; content is irrelevant
+                except OSError:
+                    continue
+                body = json.dumps(
+                    {
+                        "version": 1,
+                        "ok": True,
+                        "command": "GET /healthz",
+                        "result": {"status": "ok"},
+                        "error": None,
+                        "meta": {},
+                    }
+                ).encode()
+                conn.sendall(
+                    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                # No "Connection: close" header was sent, so the client
+                # legitimately caches the socket — and we close it anyway.
+
+    def stop(self):
+        self._stop.set()
+        self.thread.join(timeout=5)
+        self.sock.close()
+
+
+class TestStaleSocketRetry:
+    def test_request_after_server_side_close_retries_once(self):
+        server = _OneShotServer()
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=5)
+            assert client.healthz()["status"] == "ok"
+            # The server closed the connection after answering; this call
+            # hits the stale socket and must transparently retry on a
+            # fresh connection instead of surfacing the transport error.
+            assert client.healthz()["status"] == "ok"
+            assert client.healthz()["status"] == "ok"
+            assert server.connections == 3
+            client.close()
+        finally:
+            server.stop()
+
+    def test_connection_refused_still_raises(self):
+        """A dead server is not a stale socket: the error must surface
+        (after at most the initial connect attempt), not loop forever."""
+        probe = socket.create_server(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient("127.0.0.1", dead_port, timeout=1)
+        with pytest.raises(OSError):
+            client.healthz()

@@ -1,0 +1,172 @@
+"""Regression tests for Content-Length handling in the daemon.
+
+The handler used to run ``int(self.headers.get("Content-Length") or 0)``
+unguarded, so
+
+* a malformed header (``Content-Length: abc``) raised an uncaught
+  ``ValueError`` inside the request thread — the client saw a connection
+  reset instead of a structured 400, and
+* a *negative* value sailed through ``int()`` and reached
+  ``self.rfile.read(-1)``, which means "read until EOF" — on a
+  keep-alive connection that blocks until the client gives up.
+
+Both must now be rejected up front with a structured 400 envelope,
+before any body bytes are read.  These tests speak raw sockets because
+``http.client`` refuses to *send* such headers.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.service import ServiceError, TypedQueryService
+from repro.service.daemon import parse_content_length
+
+#: Generous ceiling for "the server answered instead of hanging".  The
+#: negative-length bug blocked until the client timed out, so a bounded
+#: socket timeout doubles as the hang detector.
+SOCKET_TIMEOUT_S = 5.0
+
+
+@pytest.fixture(scope="module")
+def service():
+    with TypedQueryService(port=0) as svc:
+        yield svc
+
+
+def raw_request(host: str, port: int, request: bytes) -> bytes:
+    """Send raw bytes, read until the response's body is complete."""
+    with socket.create_connection((host, port), timeout=SOCKET_TIMEOUT_S) as sock:
+        sock.sendall(request)
+        chunks = b""
+        while True:
+            # Headers and body may arrive in separate segments; read
+            # until the Content-Length promise is fulfilled.
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks += chunk
+            head, sep, body = chunks.partition(b"\r\n\r\n")
+            if not sep:
+                continue
+            for line in head.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    expected = int(line.split(b":", 1)[1])
+                    if len(body) >= expected:
+                        return chunks
+        return chunks
+
+
+def parse_response(raw: bytes):
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split()[1])
+    return status, json.loads(body)
+
+
+class TestParseContentLength:
+    def test_absent_header_means_empty_body(self):
+        assert parse_content_length(None) == 0
+
+    def test_valid_lengths(self):
+        assert parse_content_length("0") == 0
+        assert parse_content_length("  128  ") == 128
+
+    @pytest.mark.parametrize("raw", ["abc", "", "12x", "1.5", "0x10", "nan"])
+    def test_non_integer_is_bad_request(self, raw):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_content_length(raw)
+        assert excinfo.value.code == "bad-request"
+        assert excinfo.value.status == 400
+
+    @pytest.mark.parametrize("raw", ["-1", "-5", "  -9999 "])
+    def test_negative_is_bad_request(self, raw):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_content_length(raw)
+        assert excinfo.value.code == "bad-request"
+        # The message names the value so the 400 is actionable.
+        assert "negative" in excinfo.value.message
+
+
+class TestDaemonContentLength:
+    def test_malformed_header_yields_structured_400(self, service):
+        raw = raw_request(
+            service.host,
+            service.port,
+            b"POST /satisfiable HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: abc\r\n"
+            b"\r\n",
+        )
+        status, envelope = parse_response(raw)
+        assert status == 400
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "bad-request"
+        assert "abc" in envelope["error"]["message"]
+
+    def test_negative_length_answers_without_hanging(self, service):
+        """The old code passed -5 to ``rfile.read``, i.e. read-to-EOF on a
+        keep-alive socket: the request hung until the client died.  Now it
+        must answer a structured 400 within the socket timeout — and must
+        NOT wait for (nonexistent) body bytes first."""
+        raw = raw_request(
+            service.host,
+            service.port,
+            b"POST /satisfiable HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Length: -5\r\n"
+            b"\r\n",
+        )
+        status, envelope = parse_response(raw)
+        assert status == 400
+        assert envelope["error"]["code"] == "bad-request"
+        assert "-5" in envelope["error"]["message"]
+
+    def test_malformed_length_closes_the_connection(self, service):
+        """After a framing violation the connection cannot be trusted —
+        the server must close it rather than misinterpret what follows."""
+        with socket.create_connection(
+            (service.host, service.port), timeout=SOCKET_TIMEOUT_S
+        ) as sock:
+            sock.sendall(
+                b"POST /satisfiable HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: nope\r\n\r\n"
+            )
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break  # server closed: the behavior under test
+                data += chunk
+            assert b"400" in data.split(b"\r\n", 1)[0]
+
+    def test_oversized_length_is_413_without_reading_body(self, service):
+        declared = service.state.limits.max_body_bytes + 1
+        # No body bytes are sent: a server that tried to read the declared
+        # length first would block; the correct server answers immediately.
+        raw = raw_request(
+            service.host,
+            service.port,
+            b"POST /satisfiable HTTP/1.1\r\nHost: x\r\n"
+            + f"Content-Length: {declared}\r\n\r\n".encode(),
+        )
+        status, envelope = parse_response(raw)
+        assert status == 413
+        assert envelope["error"]["code"] == "payload-too-large"
+
+    def test_valid_request_still_round_trips(self, service):
+        body = json.dumps({"schema": "T = string"}).encode()
+        raw = raw_request(
+            service.host,
+            service.port,
+            b"POST /schemas HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body,
+        )
+        status, envelope = parse_response(raw)
+        assert status == 200
+        assert envelope["ok"] is True
+        assert envelope["result"]["fingerprint"]
