@@ -1,0 +1,116 @@
+"""Traffic mixes: which endpoints a replay run exercises, and how often.
+
+A :class:`TrafficMix` is a weighted distribution over the replayable
+operations.  Named presets cover the common shapes; ad-hoc mixes parse
+from ``op=weight`` comma lists (``--mix "satisfiable=6,batch=1"``), so a
+benchmark can pin any ratio without code changes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Operations the replay runner knows how to drive.
+REPLAY_OPERATIONS: Tuple[str, ...] = (
+    "satisfiable",
+    "check",
+    "infer",
+    "evaluate",
+    "batch",
+)
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """A weighted distribution over :data:`REPLAY_OPERATIONS`."""
+
+    name: str
+    weights: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("a traffic mix needs at least one operation")
+        seen = set()
+        for operation, weight in self.weights:
+            if operation not in REPLAY_OPERATIONS:
+                raise ValueError(
+                    f"unknown operation {operation!r} in mix {self.name!r} "
+                    f"(expected one of {', '.join(REPLAY_OPERATIONS)})"
+                )
+            if operation in seen:
+                raise ValueError(f"duplicate operation {operation!r} in mix")
+            if weight < 0:
+                raise ValueError(f"negative weight for {operation!r}")
+            seen.add(operation)
+        if not any(weight > 0 for _op, weight in self.weights):
+            raise ValueError(f"mix {self.name!r} has no positive weight")
+
+    def pick(self, rng: random.Random) -> str:
+        """One weighted draw (deterministic given the rng state)."""
+        cumulative: list = []
+        running = 0.0
+        for _operation, weight in self.weights:
+            running += weight
+            cumulative.append(running)
+        point = rng.random() * running
+        index = bisect.bisect_right(cumulative, point)
+        return self.weights[min(index, len(self.weights) - 1)][0]
+
+    def as_dict(self) -> Dict[str, float]:
+        return {operation: weight for operation, weight in self.weights}
+
+
+#: Preset mixes.  ``default`` approximates a type-checking tier fronting
+#: an editor: mostly satisfiability probes, a fair share of checks and
+#: inference, occasional evaluation and batch jobs.
+MIXES: Dict[str, TrafficMix] = {
+    "default": TrafficMix(
+        "default",
+        (
+            ("satisfiable", 4.0),
+            ("check", 2.0),
+            ("infer", 2.0),
+            ("evaluate", 1.0),
+            ("batch", 1.0),
+        ),
+    ),
+    "read-heavy": TrafficMix(
+        "read-heavy",
+        (("satisfiable", 6.0), ("check", 3.0), ("infer", 1.0)),
+    ),
+    "evaluate-heavy": TrafficMix(
+        "evaluate-heavy",
+        (("evaluate", 5.0), ("satisfiable", 2.0), ("check", 1.0)),
+    ),
+    "batch-heavy": TrafficMix(
+        "batch-heavy",
+        (("batch", 4.0), ("satisfiable", 1.0), ("infer", 1.0)),
+    ),
+}
+
+
+def resolve_mix(spec: str) -> TrafficMix:
+    """A preset name, or an ad-hoc ``op=weight,op=weight`` list."""
+    preset = MIXES.get(spec)
+    if preset is not None:
+        return preset
+    if "=" not in spec:
+        raise ValueError(
+            f"unknown mix {spec!r} (presets: {', '.join(sorted(MIXES))}; "
+            f"or pass 'op=weight,...' over {', '.join(REPLAY_OPERATIONS)})"
+        )
+    weights = []
+    for piece in spec.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        operation, _eq, raw = piece.partition("=")
+        try:
+            weight = float(raw)
+        except ValueError:
+            raise ValueError(f"bad weight {raw!r} for {operation!r}") from None
+        weights.append((operation.strip(), weight))
+    return TrafficMix("custom", tuple(weights))

@@ -1,0 +1,135 @@
+"""Sample aggregation for replay runs: exact client-side percentiles.
+
+The server's ``/stats`` percentiles are bucket-interpolated estimates
+(see :func:`repro.service.metrics.bucket_percentiles`); the replay
+client holds every recorded sample, so its percentiles are *exact*
+(nearest-rank over the sorted latencies).  Reports carry both so drift
+between them is visible — a large gap means the histogram buckets are
+mis-sized for the workload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: The exact percentile points reported client-side.
+EXACT_PERCENTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+def exact_percentiles(samples_ms: List[float]) -> Dict[str, float]:
+    """Nearest-rank percentiles over raw latency samples (ms)."""
+    if not samples_ms:
+        return {name: 0.0 for name, _q in EXACT_PERCENTILES}
+    ordered = sorted(samples_ms)
+    result = {}
+    for name, q in EXACT_PERCENTILES:
+        rank = max(1, math.ceil(q * len(ordered)))
+        result[name] = round(ordered[rank - 1], 3)
+    return result
+
+
+@dataclass
+class SampleSet:
+    """All samples for one (endpoint, domain) traffic cell."""
+
+    latencies_ms: List[float] = field(default_factory=list)
+    errors_4xx: int = 0
+    errors_5xx: int = 0
+    transport_errors: int = 0
+
+    def record(self, status: int, elapsed_ms: float) -> None:
+        self.latencies_ms.append(elapsed_ms)
+        if status < 0:
+            self.transport_errors += 1
+        elif 400 <= status < 500:
+            self.errors_4xx += 1
+        elif status >= 500:
+            self.errors_5xx += 1
+
+    def merge(self, other: "SampleSet") -> None:
+        self.latencies_ms.extend(other.latencies_ms)
+        self.errors_4xx += other.errors_4xx
+        self.errors_5xx += other.errors_5xx
+        self.transport_errors += other.transport_errors
+
+    @property
+    def requests(self) -> int:
+        return len(self.latencies_ms)
+
+    def block(self, duration_s: float) -> dict:
+        """The JSON block for this cell (counts, rates, percentiles)."""
+        requests = self.requests
+        failures = self.errors_5xx + self.transport_errors
+        total_ms = sum(self.latencies_ms)
+        return {
+            "requests": requests,
+            "errors_4xx": self.errors_4xx,
+            "errors_5xx": self.errors_5xx,
+            "transport_errors": self.transport_errors,
+            "error_rate": round(failures / requests, 6) if requests else 0.0,
+            "rps": round(requests / duration_s, 3) if duration_s > 0 else 0.0,
+            "latency_ms": {
+                "mean": round(total_ms / requests, 3) if requests else 0.0,
+                "max": round(max(self.latencies_ms), 3) if requests else 0.0,
+                **exact_percentiles(self.latencies_ms),
+            },
+        }
+
+
+class ReplayRecorder:
+    """Per-thread sample sink, merged once at the end of a run.
+
+    Each worker thread owns one recorder (no locking on the hot path);
+    :meth:`merge` folds them together before reporting.
+    """
+
+    def __init__(self) -> None:
+        self.by_endpoint: Dict[str, SampleSet] = {}
+        self.by_domain: Dict[str, Dict[str, SampleSet]] = {}
+        self.reloads = 0
+
+    def record(
+        self, endpoint: str, domain: str, status: int, elapsed_ms: float
+    ) -> None:
+        cell = self.by_endpoint.setdefault(endpoint, SampleSet())
+        cell.record(status, elapsed_ms)
+        domain_cells = self.by_domain.setdefault(domain, {})
+        domain_cells.setdefault(endpoint, SampleSet()).record(status, elapsed_ms)
+
+    def merge(self, other: "ReplayRecorder") -> None:
+        for endpoint, cell in other.by_endpoint.items():
+            self.by_endpoint.setdefault(endpoint, SampleSet()).merge(cell)
+        for domain, cells in other.by_domain.items():
+            mine = self.by_domain.setdefault(domain, {})
+            for endpoint, cell in cells.items():
+                mine.setdefault(endpoint, SampleSet()).merge(cell)
+        self.reloads += other.reloads
+
+    def totals_block(self, duration_s: float) -> dict:
+        combined = SampleSet()
+        for cell in self.by_endpoint.values():
+            combined.merge(cell)
+        block = combined.block(duration_s)
+        block["reloads"] = self.reloads
+        return block
+
+    def endpoints_block(self, duration_s: float) -> dict:
+        return {
+            endpoint: cell.block(duration_s)
+            for endpoint, cell in sorted(self.by_endpoint.items())
+        }
+
+    def domains_block(self, duration_s: float) -> dict:
+        return {
+            domain: {
+                endpoint: cell.block(duration_s)
+                for endpoint, cell in sorted(cells.items())
+            }
+            for domain, cells in sorted(self.by_domain.items())
+        }

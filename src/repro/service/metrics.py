@@ -11,17 +11,68 @@ and each registered engine's per-kind cache hit/miss numbers (see
 :meth:`repro.service.daemon.ServiceState.stats_payload`), which is what
 lets a benchmark assert "warm requests hit the automata cache" from the
 outside, with no process introspection.
+
+Each endpoint snapshot carries a ``percentiles`` block (p50/p95/p99)
+interpolated from the histogram buckets.  These are *estimates* — exact
+within a bucket's width, with the unbounded tail bucket closed at the
+observed maximum; the replay harness (``repro replay``) records exact
+client-side percentiles from raw samples and reports both.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Histogram bucket upper bounds, in milliseconds (last bucket = +inf).
 LATENCY_BUCKETS_MS: Tuple[float, ...] = (
     1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
 )
+
+#: The percentile points every latency snapshot reports.
+PERCENTILE_POINTS: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+def bucket_percentiles(
+    counts: Sequence[int],
+    bounds: Sequence[float] = LATENCY_BUCKETS_MS,
+    max_value: float = 0.0,
+) -> Dict[str, float]:
+    """p50/p95/p99 interpolated from a fixed-bucket latency histogram.
+
+    Linear interpolation inside the containing bucket (the convention
+    Prometheus' ``histogram_quantile`` uses); the unbounded last bucket
+    is closed at ``max_value`` (the observed maximum), so an estimate can
+    never exceed what was actually seen.  All zeros when no observations.
+    """
+    total = sum(counts)
+    result = {name: 0.0 for name, _q in PERCENTILE_POINTS}
+    if total <= 0:
+        return result
+    for name, q in PERCENTILE_POINTS:
+        rank = q * total
+        cumulative = 0
+        estimate = float(max_value)
+        for index, count in enumerate(counts):
+            if not count:
+                continue
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank:
+                lower = bounds[index - 1] if index > 0 else 0.0
+                if index < len(bounds):
+                    upper = bounds[index]
+                else:
+                    upper = max(float(max_value), lower)
+                fraction = (rank - previous) / count
+                estimate = lower + (upper - lower) * fraction
+                break
+        result[name] = round(min(estimate, float(max_value)), 3)
+    return result
 
 
 class _EndpointMetrics:
@@ -51,6 +102,13 @@ class _EndpointMetrics:
         self.max_ms = max(self.max_ms, elapsed_ms)
 
     def snapshot(self) -> dict:
+        # Derive every reported latency figure from ONE source: the
+        # 3-decimal-rounded totals the snapshot itself publishes.  The
+        # mean used to divide the *unrounded* total, so a scraper
+        # recomputing mean = total / requests from the snapshot could
+        # disagree with the reported mean by a rounding ulp.
+        total = round(self.total_ms, 3)
+        maximum = round(self.max_ms, 3)
         return {
             "requests": self.requests,
             "errors": self.errors,
@@ -58,9 +116,12 @@ class _EndpointMetrics:
             "latency_ms": {
                 "buckets": list(LATENCY_BUCKETS_MS) + ["inf"],
                 "counts": list(self.buckets),
-                "total": round(self.total_ms, 3),
-                "mean": round(self.total_ms / self.requests, 3) if self.requests else 0.0,
-                "max": round(self.max_ms, 3),
+                "total": total,
+                "mean": round(total / self.requests, 3) if self.requests else 0.0,
+                "max": maximum,
+                "percentiles": bucket_percentiles(
+                    self.buckets, LATENCY_BUCKETS_MS, maximum
+                ),
             },
         }
 
@@ -83,6 +144,7 @@ class ServiceMetrics:
         self._migration_queries = 0
         self._migration_breaks = 0
         self._unregisters = 0
+        self._clock_skew = 0
 
     def mark_started(self, now: float) -> None:
         """Record the server start time (``time.time()``) for uptime."""
@@ -94,8 +156,17 @@ class ServiceMetrics:
             return self._started
 
     def observe(self, endpoint: str, status: int, elapsed_s: float) -> None:
-        """Record one finished request against ``endpoint``."""
+        """Record one finished request against ``endpoint``.
+
+        A negative ``elapsed_s`` means the caller measured with a clock
+        that stepped backwards mid-request (wall clock + NTP, or a buggy
+        harness); it is clamped to zero and counted under ``clock_skew``
+        rather than poisoning the totals with negative durations.
+        """
         with self._lock:
+            if elapsed_s < 0.0:
+                self._clock_skew += 1
+                elapsed_s = 0.0
             metrics = self._endpoints.get(endpoint)
             if metrics is None:
                 metrics = self._endpoints[endpoint] = _EndpointMetrics()
@@ -107,10 +178,14 @@ class ServiceMetrics:
         ``observe`` already counts the HTTP request itself; this tracks
         what that one request *hid*: how many items it decided and how
         many of them failed individually — which per-endpoint request
-        counters cannot see.
+        counters cannot see.  Negative durations clamp to zero exactly
+        like :meth:`observe`.
         """
-        elapsed_ms = elapsed_s * 1000.0
         with self._lock:
+            if elapsed_s < 0.0:
+                self._clock_skew += 1
+                elapsed_s = 0.0
+            elapsed_ms = elapsed_s * 1000.0
             self._batches += 1
             self._batch_items += items
             self._batch_item_errors += item_errors
@@ -145,13 +220,14 @@ class ServiceMetrics:
                 name: metrics.snapshot()
                 for name, metrics in sorted(self._endpoints.items())
             }
+            batch_total = round(self._batch_total_ms, 3)
             batch = {
                 "batches": self._batches,
                 "items": self._batch_items,
                 "item_errors": self._batch_item_errors,
                 "latency_ms": {
-                    "total": round(self._batch_total_ms, 3),
-                    "mean": round(self._batch_total_ms / self._batches, 3)
+                    "total": batch_total,
+                    "mean": round(batch_total / self._batches, 3)
                     if self._batches
                     else 0.0,
                     "max": round(self._batch_max_ms, 3),
@@ -165,9 +241,11 @@ class ServiceMetrics:
                 "queries_broken": self._migration_breaks,
                 "unregisters": self._unregisters,
             }
+            clock_skew = self._clock_skew
         return {
             "requests": sum(e["requests"] for e in endpoints.values()),
             "errors": sum(e["errors"] for e in endpoints.values()),
+            "clock_skew": clock_skew,
             "batch": batch,
             "delta": delta,
             "endpoints": endpoints,

@@ -317,19 +317,26 @@ class CompilerPool:
             self._spawn(handle)
 
     def terminate_all(self, timeout: float = 5.0) -> None:
-        """Best-effort worker shutdown: polite op, then SIGTERM, then join."""
+        """Best-effort worker shutdown: polite op, then SIGTERM, then join.
+
+        The join budget is measured on the **monotonic** clock: with
+        ``time.time()`` an NTP step mid-shutdown either hangs the join
+        (clock stepped back, deadline recedes) or expires it instantly
+        (clock stepped forward).  Wall clock remains only in the
+        human-facing ``spawned_at``/``uptime_s`` fields.
+        """
         for handle in self._workers:
             if handle.conn is not None:
                 try:
                     handle.conn.send(("shutdown",))
                 except (BrokenPipeError, OSError):
                     pass
-        deadline = time.time() + timeout
+        deadline = time.monotonic() + timeout
         for handle in self._workers:
             process = handle.process
             if process is None:
                 continue
-            process.join(timeout=max(0.1, deadline - time.time()))
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
@@ -471,6 +478,13 @@ class CompilerPool:
             per_worker.append(row)
         merged_registry = _merge_numeric([p["registry"] for p in payloads])
         merged_limits = _merge_numeric([p["limits"] for p in payloads])
+        # The workers' own request metrics (what each worker-side
+        # ServiceState observed), merged with the same per-key semantics:
+        # counts sum, maxima max, means request-weighted, histogram
+        # bounds verbatim.  The frontend's metrics live under "service".
+        merged_worker_service = _merge_numeric(
+            [p["service"] for p in payloads if isinstance(p.get("service"), dict)]
+        )
         return {
             "pool": {
                 "workers": self.num_workers,
@@ -480,6 +494,7 @@ class CompilerPool:
             },
             "registry": merged_registry,
             "limits": merged_limits,
+            "worker_service": merged_worker_service,
         }
 
     def describe(self) -> dict:
@@ -494,25 +509,131 @@ class CompilerPool:
         return self._workers
 
 
-def _merge_numeric(payloads: List[dict]) -> dict:
-    """Recursively merge worker stat dicts: numbers sum, dicts recurse.
+#: Numeric keys that are *bounds or observed maxima*, not additive
+#: counters: merging N workers' stats must take the max, never the sum
+#: (two workers each bounded at 64 schemas do not make a 128 bound, and
+#: two per-worker latency maxima do not add).
+_MAX_KEYS = frozenset((
+    "max", "max_ms", "max_schemas", "max_slots", "max_deadline_s",
+    "max_body_bytes", "max_batch_items",
+))
 
-    Non-numeric leaves (backend names, fingerprint keys' nested dicts)
-    take the first occurrence; engine maps union naturally because shard
-    routing keeps their fingerprint keys disjoint.
+#: Keys whose values are configuration shared by every worker and must
+#: survive the merge verbatim (first occurrence), even when they happen
+#: to hold lists of numbers — the histogram bucket *bounds* most of all.
+_VERBATIM_KEYS = frozenset(("buckets", "bounds"))
+
+#: Per-bucket observation counts: lists that merge element-wise.
+_ELEMENTWISE_KEYS = frozenset(("counts",))
+
+
+def _merge_numeric(payloads: List[dict], weights: Optional[List[float]] = None) -> dict:
+    """Merge worker stat dicts with per-key semantics.
+
+    The naive predecessor summed every numeric leaf, which corrupted the
+    non-additive fields: per-worker ``latency_ms.mean`` values were
+    *summed* across workers (a 2-worker pool reported roughly double the
+    true mean), ``max`` became a sum of maxima, and config bounds like
+    ``max_schemas`` inflated with the worker count.  The rules now:
+
+    * plain counters (requests, errors, hits, evictions, ...) **sum**;
+    * ``max*`` keys take the **max** (observed maxima and config bounds);
+    * ``mean`` merges as the **weighted mean**, weighted by each worker's
+      nearest enclosing ``requests``/``batches`` count — and when the
+      merged dict carries a full histogram (``counts`` + ``total``), the
+      mean and ``percentiles`` are *recomputed* from the merged histogram
+      so every derived figure comes from one consistent source;
+    * ``buckets``/``bounds`` (bucket boundary lists) are kept verbatim;
+    * ``counts`` lists merge element-wise;
+    * dicts recurse; engine maps union naturally because shard routing
+      keeps their fingerprint keys disjoint; other non-numeric leaves
+      (backend names, pids) take the first occurrence.
     """
+    payloads = [p for p in payloads if isinstance(p, dict)]
+    if weights is None:
+        weights = [1.0] * len(payloads)
+    # A payload's weight at this level: its own request-ish counter when
+    # it has one (endpoint snapshots carry "requests", batch blocks carry
+    # "batches"), else the weight inherited from the enclosing dict.
+    level_weights: List[float] = []
+    for payload, inherited in zip(payloads, weights):
+        weight = inherited
+        for counter in ("requests", "batches"):
+            value = payload.get(counter)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                weight = float(value)
+                break
+        level_weights.append(weight)
+
     merged: dict = {}
+    seen_keys: List[str] = []
     for payload in payloads:
-        for key, value in payload.items():
-            if isinstance(value, bool):
-                merged.setdefault(key, value)
-            elif isinstance(value, (int, float)):
-                merged[key] = merged.get(key, 0) + value
-            elif isinstance(value, dict):
-                existing = merged.setdefault(key, {})
-                merged[key] = _merge_numeric([existing, value])
+        for key in payload:
+            if key not in merged:
+                merged[key] = None
+                seen_keys.append(key)
+
+    for key in seen_keys:
+        values = [
+            (payload[key], weight)
+            for payload, weight in zip(payloads, level_weights)
+            if key in payload
+        ]
+        first = values[0][0]
+        if key in _VERBATIM_KEYS:
+            merged[key] = list(first) if isinstance(first, list) else first
+        elif key in _ELEMENTWISE_KEYS and isinstance(first, list):
+            width = max(len(v) for v, _w in values if isinstance(v, list))
+            summed = [0] * width
+            for value, _weight in values:
+                if isinstance(value, list):
+                    for index, item in enumerate(value):
+                        if isinstance(item, (int, float)):
+                            summed[index] += item
+            merged[key] = summed
+        elif isinstance(first, bool):
+            merged[key] = first
+        elif isinstance(first, (int, float)):
+            numbers = [
+                (v, w) for v, w in values
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            ]
+            if key in _MAX_KEYS:
+                merged[key] = max(v for v, _w in numbers)
+            elif key == "mean":
+                weight_sum = sum(w for _v, w in numbers)
+                merged[key] = (
+                    round(sum(v * w for v, w in numbers) / weight_sum, 3)
+                    if weight_sum > 0
+                    else 0.0
+                )
             else:
-                merged.setdefault(key, value)
+                merged[key] = sum(v for v, _w in numbers)
+        elif isinstance(first, dict):
+            merged[key] = _merge_numeric(
+                [v for v, _w in values if isinstance(v, dict)],
+                [w for v, w in values if isinstance(v, dict)],
+            )
+        else:
+            merged[key] = first
+
+    # A merged histogram is the one consistent source for its derived
+    # fields: recompute mean and percentiles from the merged counts so
+    # they cannot drift from the buckets a dashboard would plot.
+    counts = merged.get("counts")
+    if isinstance(counts, list) and "total" in merged:
+        from .metrics import LATENCY_BUCKETS_MS, bucket_percentiles
+
+        observations = sum(c for c in counts if isinstance(c, (int, float)))
+        total = merged.get("total", 0.0)
+        if isinstance(total, (int, float)):
+            merged["mean"] = (
+                round(total / observations, 3) if observations else 0.0
+            )
+        if "percentiles" in merged:
+            merged["percentiles"] = bucket_percentiles(
+                counts, LATENCY_BUCKETS_MS, float(merged.get("max", 0.0) or 0.0)
+            )
     return merged
 
 

@@ -218,6 +218,7 @@ class SchemaRegistry:
         self._lookups = 0
         self._lookup_misses = 0
         self._restored = 0
+        self._store_hits = 0
         self._unregistered = 0
         self._migrations = 0
         self._migrations_rejected = 0
@@ -288,8 +289,13 @@ class SchemaRegistry:
         info: Dict[str, object] = {}
         if engine.warm_from_store(schema):
             # Durable tier hit: the compiled working set was installed
-            # from disk; nothing to rebuild, nothing to persist.
+            # from disk; nothing to rebuild, nothing to persist.  This is
+            # the path an evicted-then-re-registered schema takes under
+            # cache pressure — counted so a replay run can assert the
+            # store actually served the reload.
             info["store_hit"] = True
+            with self._lock:
+                self._store_hits += 1
         else:
             prewarm(schema, engine)
             engine.persist_to_store(schema, syntax=syntax)
@@ -500,6 +506,7 @@ class SchemaRegistry:
                 "lookups": self._lookups,
                 "lookup_misses": self._lookup_misses,
                 "restored": self._restored,
+                "store_hits": self._store_hits,
                 "unregistered": self._unregistered,
                 "migrations": self._migrations,
                 "migrations_rejected": self._migrations_rejected,

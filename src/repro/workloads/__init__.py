@@ -32,6 +32,15 @@ from .corpus import (
     corpus_to_ndjson,
     write_corpus,
 )
+from .domains import (
+    DOMAIN_NAMES,
+    DomainCorpus,
+    build_domain,
+    corpus_records,
+    domain_corpus,
+    pressure_variants,
+)
+from .domains import corpus_to_ndjson as domain_corpus_ndjson
 from .mutations import (
     MUTATION_KINDS,
     mutate_schema,
@@ -48,8 +57,15 @@ from .queries import (
 
 __all__ = [
     "CORPUS_OPERATIONS",
+    "DOMAIN_NAMES",
+    "DomainCorpus",
     "MUTATION_KINDS",
     "batch_corpus",
+    "build_domain",
+    "corpus_records",
+    "domain_corpus",
+    "domain_corpus_ndjson",
+    "pressure_variants",
     "bounded_join_query",
     "chain_query",
     "chain_schema",

@@ -1,0 +1,200 @@
+"""Regression tests for pool ``/stats`` merging and shutdown clocks.
+
+`_merge_numeric` used to sum *every* numeric leaf across workers, which
+corrupted the non-additive fields: per-worker latency means summed (a
+2-worker pool reported ~2x the true mean), maxima summed, and the
+histogram bucket *bounds* list would be element-wise doubled.  The unit
+tests here fail against that pre-fix implementation; the integration
+test boots a real 2-worker pool and asserts the merged numbers are
+internally coherent.
+
+`terminate_all` used to budget worker joins on the wall clock; an NTP
+step mid-shutdown then either hung the join or expired it instantly.
+The clock test steps the wall clock violently and asserts the join
+budget stays sane (it is measured on ``time.monotonic`` now).
+"""
+
+import pytest
+
+from repro.service import PoolService, ServiceClient
+from repro.service.metrics import LATENCY_BUCKETS_MS
+from repro.service.pool import CompilerPool, _merge_numeric
+
+SCHEMA = """
+DOCUMENT = [(paper -> PAPER)*];
+PAPER = [title -> TITLE . (author -> AUTHOR)*];
+AUTHOR = [name -> NAME]; NAME = string; TITLE = string
+"""
+QUERY = "SELECT X WHERE Root = [paper -> X]"
+
+_BOUNDS = list(LATENCY_BUCKETS_MS) + ["inf"]
+
+
+def _endpoint_payload(requests, mean, maximum, bucket_index):
+    counts = [0] * len(_BOUNDS)
+    counts[bucket_index] = requests
+    return {
+        "requests": requests,
+        "errors": 0,
+        "by_status": {"200": requests},
+        "latency_ms": {
+            "buckets": list(_BOUNDS),
+            "counts": counts,
+            "total": round(mean * requests, 3),
+            "mean": mean,
+            "max": maximum,
+            "percentiles": {"p50": mean, "p95": maximum, "p99": maximum},
+        },
+    }
+
+
+class TestMergeNumericSemantics:
+    def test_mean_is_request_weighted_not_summed(self):
+        merged = _merge_numeric(
+            [
+                _endpoint_payload(10, 2.0, 4.0, 1),
+                _endpoint_payload(30, 4.0, 6.0, 1),
+            ]
+        )
+        latency = merged["latency_ms"]
+        # 10 * 2.0 + 30 * 4.0 over 40 requests = 3.5 — the pre-fix sum
+        # would have reported 6.0.
+        assert latency["mean"] == pytest.approx(3.5)
+        assert merged["requests"] == 40
+
+    def test_max_is_max_of_maxima(self):
+        merged = _merge_numeric(
+            [
+                _endpoint_payload(5, 1.0, 4.0, 1),
+                _endpoint_payload(5, 1.0, 6.0, 1),
+            ]
+        )
+        assert merged["latency_ms"]["max"] == 6.0  # pre-fix: 10.0
+
+    def test_bucket_bounds_survive_verbatim(self):
+        merged = _merge_numeric(
+            [
+                _endpoint_payload(3, 2.0, 3.0, 1),
+                _endpoint_payload(3, 2.0, 3.0, 1),
+            ]
+        )
+        # Pre-fix the bounds list would element-wise double.
+        assert merged["latency_ms"]["buckets"] == _BOUNDS
+
+    def test_counts_merge_elementwise(self):
+        merged = _merge_numeric(
+            [
+                _endpoint_payload(4, 2.0, 3.0, 1),
+                _endpoint_payload(6, 7.0, 9.0, 2),
+            ]
+        )
+        counts = merged["latency_ms"]["counts"]
+        assert counts[1] == 4 and counts[2] == 6
+        assert sum(counts) == 10
+
+    def test_percentiles_recomputed_from_merged_histogram(self):
+        merged = _merge_numeric(
+            [
+                _endpoint_payload(90, 0.5, 0.9, 0),
+                _endpoint_payload(10, 30.0, 42.0, 4),
+            ]
+        )
+        pcts = merged["latency_ms"]["percentiles"]
+        assert pcts["p50"] <= 1.0
+        assert pcts["p95"] > 25.0
+        assert pcts["p50"] <= pcts["p95"] <= pcts["p99"] <= 42.0
+
+    def test_config_bounds_take_max_not_sum(self):
+        merged = _merge_numeric(
+            [
+                {"max_schemas": 64, "resident": 3},
+                {"max_schemas": 64, "resident": 2},
+            ]
+        )
+        assert merged["max_schemas"] == 64  # pre-fix: 128
+        assert merged["resident"] == 5
+
+    def test_mean_and_total_stay_consistent(self):
+        merged = _merge_numeric(
+            [
+                _endpoint_payload(7, 2.5, 4.0, 1),
+                _endpoint_payload(13, 3.5, 5.0, 1),
+            ]
+        )
+        latency = merged["latency_ms"]
+        observations = sum(latency["counts"])
+        assert latency["mean"] == round(latency["total"] / observations, 3)
+
+
+class TestPoolMergedStats:
+    @pytest.fixture(scope="class")
+    def service(self):
+        with PoolService(workers=2) as svc:
+            yield svc
+
+    def test_merged_worker_service_is_coherent(self, service):
+        with ServiceClient(service.host, service.port) as client:
+            fingerprint = client.register_schema(SCHEMA)["fingerprint"]
+            for _ in range(8):
+                client.satisfiable(fingerprint, QUERY)
+            stats = client.stats()
+        worker_service = stats["worker_service"]
+        endpoint = worker_service["endpoints"]["POST /satisfiable"]
+        latency = endpoint["latency_ms"]
+        assert endpoint["requests"] >= 8
+        assert latency["mean"] <= latency["max"]
+        assert latency["buckets"] == _BOUNDS
+        assert sum(latency["counts"]) == endpoint["requests"]
+        pcts = latency["percentiles"]
+        assert pcts["p50"] <= pcts["p95"] <= pcts["p99"] <= latency["max"]
+        # Config bounds survive the merge un-inflated: two workers with
+        # the same limit must not report double.
+        from repro.service import ServiceLimits
+
+        assert stats["registry"]["max_schemas"] == 64
+        assert stats["limits"]["max_slots"] == ServiceLimits().max_slots
+
+
+class _FakeProcess:
+    def __init__(self):
+        self.join_timeouts = []
+
+    def join(self, timeout=None):
+        self.join_timeouts.append(timeout)
+
+    def is_alive(self):
+        return False
+
+    def terminate(self):  # pragma: no cover — only on stuck workers
+        raise AssertionError("terminate() reached with a dead process")
+
+
+class _FakeHandle:
+    def __init__(self, process):
+        self.process = process
+        self.conn = None
+
+
+class TestMonotonicShutdown:
+    def test_join_budget_survives_wall_clock_step(self, monkeypatch):
+        # Step the wall clock forward an hour on every call: a wall-clock
+        # deadline would make every join expire instantly (the pre-fix
+        # failure); the monotonic budget must keep joins near `timeout`.
+        import repro.service.pool as pool_module
+
+        wall = {"now": 1_700_000_000.0}
+
+        def jumping_time():
+            wall["now"] += 3600.0
+            return wall["now"]
+
+        monkeypatch.setattr(pool_module.time, "time", jumping_time)
+
+        pool = object.__new__(CompilerPool)
+        processes = [_FakeProcess(), _FakeProcess()]
+        pool._workers = [_FakeHandle(process) for process in processes]
+        pool.terminate_all(timeout=5.0)
+
+        for process in processes:
+            assert len(process.join_timeouts) == 1
+            assert 1.0 < process.join_timeouts[0] <= 5.0

@@ -1,0 +1,188 @@
+"""Smoke tests for the replay harness against an in-process daemon.
+
+Short (~1 s) runs over a few domains: the SLO gate must trip (exit 2)
+on an impossible threshold and pass on a generous one, and the
+cache-pressure scenario must demonstrably churn the registry LRU —
+nonzero evictions, store-backed reloads, zero 5xx.
+"""
+
+import json
+
+import pytest
+
+from repro.engine.store import ArtifactStore
+from repro.replay import (
+    EXIT_PASS,
+    EXIT_VIOLATION,
+    MIXES,
+    ReplayConfig,
+    SLOSpec,
+    evaluate_slo,
+    exact_percentiles,
+    gate_exit_code,
+    resolve_mix,
+    run_replay,
+)
+from repro.service import SchemaRegistry, TypedQueryService
+
+SMOKE_DOMAINS = ("telemetry", "config", "messaging")
+
+
+@pytest.fixture(scope="module")
+def service():
+    with TypedQueryService() as svc:
+        yield svc
+
+
+def _config(service, **overrides):
+    base = dict(
+        host=service.host,
+        port=service.port,
+        seed=1,
+        duration_s=1.2,
+        mix="default",
+        domains=SMOKE_DOMAINS,
+        concurrency=2,
+        output=None,
+    )
+    base.update(overrides)
+    return ReplayConfig(**base)
+
+
+class TestReplayRuns:
+    def test_generous_slo_passes(self, service, tmp_path):
+        output = tmp_path / "BENCH_replay.json"
+        config = _config(
+            service,
+            slo=SLOSpec(p95_ms=60_000.0, p99_ms=60_000.0, error_rate=0.5),
+            output=str(output),
+        )
+        exit_code, report = run_replay(config)
+        assert exit_code == EXIT_PASS
+        assert report["slo"]["violations"] == []
+        assert report["totals"]["requests"] > 0
+        assert report["totals"]["errors_5xx"] == 0
+        # Every driven endpoint reports exact client-side percentiles.
+        for block in report["endpoints"].values():
+            latency = block["latency_ms"]
+            assert latency["p50"] <= latency["p95"] <= latency["p99"]
+            assert latency["p99"] <= latency["max"]
+        # Per-domain breakdown covers the requested domains.
+        assert set(report["domains"]) <= set(SMOKE_DOMAINS)
+        assert len(report["domains"]) >= 2
+        # The report landed on disk as valid JSON.
+        written = json.loads(output.read_text())
+        assert written["totals"]["requests"] == report["totals"]["requests"]
+
+    def test_impossible_slo_trips_gate(self, service):
+        config = _config(service, slo=SLOSpec(p95_ms=0.000001))
+        exit_code, report = run_replay(config)
+        assert exit_code == EXIT_VIOLATION
+        assert report["slo"]["exit_code"] == EXIT_VIOLATION
+        assert any(
+            violation["metric"] == "p95_ms"
+            for violation in report["slo"]["violations"]
+        )
+
+    def test_open_loop_rate_limits_throughput(self, service):
+        config = _config(service, rate=40.0, duration_s=1.0)
+        _code, report = run_replay(config)
+        assert report["config"]["loop"] == "open"
+        # 40 rps for ~1s: allow generous scheduling slop, but closed-loop
+        # would do thousands — the pacing must bite.
+        assert report["totals"]["requests"] <= 80
+
+    def test_server_side_percentiles_included(self, service):
+        _code, report = run_replay(_config(service))
+        server_endpoints = report["server"]["endpoints"]
+        assert server_endpoints, "server /stats endpoints missing"
+        any_block = next(iter(server_endpoints.values()))
+        assert "percentiles" in any_block["latency_ms"]
+
+
+class TestCachePressure:
+    def test_evictions_and_reloads_with_zero_5xx(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store")
+        registry = SchemaRegistry(max_schemas=5, store=store)
+        with TypedQueryService(registry=registry) as svc:
+            config = ReplayConfig(
+                host=svc.host,
+                port=svc.port,
+                seed=2,
+                duration_s=1.5,
+                mix="read-heavy",
+                concurrency=2,
+                scenario="cache-pressure",
+                pressure_overshoot=5,
+                output=None,
+            )
+            exit_code, report = run_replay(config)
+        pressure = report["cache_pressure"]
+        assert pressure["registered"] > pressure["lru_bound"]
+        assert pressure["evictions"] > 0
+        assert pressure["reloads"] > 0
+        assert pressure["store_hits"] > 0
+        assert pressure["errors_5xx"] == 0
+        assert exit_code in (0, 1)
+
+
+class TestMixAndSLOUnits:
+    def test_presets_cover_default(self):
+        assert "default" in MIXES
+        assert resolve_mix("default") is MIXES["default"]
+
+    def test_adhoc_mix_parses(self):
+        mix = resolve_mix("satisfiable=3,batch=1")
+        assert mix.as_dict() == {"satisfiable": 3.0, "batch": 1.0}
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError, match="unknown mix"):
+            resolve_mix("nosuch")
+        with pytest.raises(ValueError, match="unknown operation"):
+            resolve_mix("frobnicate=1")
+
+    def test_mix_pick_is_seeded(self):
+        import random
+
+        mix = resolve_mix("default")
+        first = [mix.pick(random.Random(9)) for _ in range(20)]
+        second = [mix.pick(random.Random(9)) for _ in range(20)]
+        assert first == second
+        assert set(first) <= {op for op, _w in mix.weights}
+
+    def test_exact_percentiles_nearest_rank(self):
+        samples = [float(value) for value in range(1, 101)]
+        result = exact_percentiles(samples)
+        assert result == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+        assert exact_percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_slo_per_endpoint_override_wins(self):
+        report = {
+            "totals": {"rps": 100.0, "error_rate": 0.0},
+            "endpoints": {
+                "satisfiable": {"latency_ms": {"p50": 1, "p95": 9.0, "p99": 9.5}},
+                "batch": {"latency_ms": {"p50": 1, "p95": 40.0, "p99": 45.0}},
+            },
+        }
+        spec = SLOSpec(
+            p95_ms=10.0, per_endpoint={"batch": {"p95_ms": 50.0}}
+        )
+        assert evaluate_slo(spec, report) == []
+        strict = SLOSpec(p95_ms=10.0)
+        violations = evaluate_slo(strict, report)
+        assert [v["scope"] for v in violations] == ["batch"]
+
+    def test_gate_degraded_on_server_errors_within_slo(self):
+        report = {
+            "totals": {"errors_5xx": 3, "transport_errors": 0},
+            "endpoints": {},
+        }
+        assert gate_exit_code([], report) == 1
+        report["totals"]["errors_5xx"] = 0
+        assert gate_exit_code([], report) == 0
+
+    def test_slo_spec_round_trips_and_rejects_unknown_keys(self):
+        spec = SLOSpec(p95_ms=25.0, error_rate=0.01)
+        assert SLOSpec.from_dict(spec.as_dict()) == spec
+        with pytest.raises(ValueError, match="unknown SLO keys"):
+            SLOSpec.from_dict({"p95": 25.0})
